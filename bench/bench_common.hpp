@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared scaffolding for the figure-reproduction benches: flag parsing into
+// experiment configs and common printing. Every binary accepts:
+//   --isps=N --pairs=N --seed=S --pop-min=N --pop-max=N  (universe)
+//   --pref-range=P                                        (Nexit config)
+// plus figure-specific flags documented in each binary.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sim/bandwidth_experiment.hpp"
+#include "sim/distance_experiment.hpp"
+#include "sim/report.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace nexit::bench {
+
+inline sim::UniverseConfig universe_from_flags(const util::Flags& flags) {
+  sim::UniverseConfig u;
+  u.isp_count = static_cast<std::size_t>(flags.get_int("isps", 65));
+  u.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  u.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 120));
+  u.generator.min_pops = static_cast<std::size_t>(flags.get_int("pop-min", 6));
+  u.generator.max_pops = static_cast<std::size_t>(flags.get_int("pop-max", 20));
+  return u;
+}
+
+inline core::NegotiationConfig negotiation_from_flags(const util::Flags& flags) {
+  core::NegotiationConfig cfg;
+  cfg.acceptance = core::AcceptancePolicy::kProtective;
+  cfg.preferences.range = static_cast<int>(flags.get_int("pref-range", 10));
+  return cfg;
+}
+
+inline std::string universe_summary(const sim::UniverseConfig& u) {
+  std::ostringstream os;
+  os << u.isp_count << " synthetic ISPs, seed " << u.seed << ", <= "
+     << u.max_pairs << " pairs, PoPs " << u.generator.min_pops << "-"
+     << u.generator.max_pops;
+  return os.str();
+}
+
+}  // namespace nexit::bench

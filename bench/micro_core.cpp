@@ -1,0 +1,108 @@
+// google-benchmark micro-benchmarks for the computational substrates:
+// Dijkstra all-pairs, simplex LP solve, negotiation engine throughput, and
+// frame codec throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.hpp"
+#include "core/oracles.hpp"
+#include "lp/simplex.hpp"
+#include "opt/min_max_load.hpp"
+#include "proto/frame.hpp"
+#include "proto/messages.hpp"
+#include "sim/pair_universe.hpp"
+#include "traffic/traffic.hpp"
+
+namespace {
+
+using namespace nexit;
+
+topology::IspPair make_pair(std::size_t pops) {
+  sim::UniverseConfig u;
+  u.isp_count = 24;
+  u.seed = 7;
+  u.generator.min_pops = pops;
+  u.generator.max_pops = pops;
+  u.max_pairs = 4;
+  auto pairs = sim::build_pair_universe(u, 2);
+  if (pairs.empty()) throw std::runtime_error("no pair generated");
+  return pairs.front();
+}
+
+void BM_AllPairsDijkstra(benchmark::State& state) {
+  const auto pair = make_pair(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    graph::AllPairsShortestPaths ap(pair.a().backbone());
+    benchmark::DoNotOptimize(ap.distance(0, 1));
+  }
+}
+BENCHMARK(BM_AllPairsDijkstra)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SimplexMinMax(benchmark::State& state) {
+  // min t subject to n random packing rows.
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(11);
+  lp::LpProblem p(n + 1);
+  p.set_objective_coeff(n, 1.0);
+  for (int i = 0; i < n; ++i)
+    p.add_constraint({{i, 1.0}}, lp::Relation::kEq, 1.0);
+  for (int row = 0; row < n; ++row) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i)
+      if (rng.next_bool(0.3)) terms.emplace_back(i, rng.next_double(0.1, 2.0));
+    terms.emplace_back(n, -1.0);
+    p.add_constraint(std::move(terms), lp::Relation::kLe, 0.0);
+  }
+  for (auto _ : state) {
+    auto sol = lp::SimplexSolver{}.solve(p);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_SimplexMinMax)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_NegotiationDistance(benchmark::State& state) {
+  const auto pair = make_pair(static_cast<std::size_t>(state.range(0)));
+  routing::PairRouting routing(pair);
+  util::Rng rng(3);
+  traffic::TrafficConfig tcfg;
+  tcfg.model = traffic::WorkloadModel::kIdentical;
+  auto tm = traffic::TrafficMatrix::build_bidirectional(pair, tcfg, rng);
+  std::vector<std::size_t> cands(pair.interconnection_count());
+  for (std::size_t i = 0; i < cands.size(); ++i) cands[i] = i;
+  auto problem = core::make_distance_problem(routing, tm.flows(), cands);
+  for (auto _ : state) {
+    core::DistanceOracle a(0, core::PreferenceConfig{});
+    core::DistanceOracle b(1, core::PreferenceConfig{});
+    core::NegotiationEngine engine(problem, a, b, core::NegotiationConfig{});
+    auto out = engine.run();
+    benchmark::DoNotOptimize(out.flows_negotiated);
+  }
+  state.counters["flows"] = static_cast<double>(tm.size());
+}
+BENCHMARK(BM_NegotiationDistance)->Arg(8)->Arg(16);
+
+void BM_FrameCodecRoundTrip(benchmark::State& state) {
+  proto::PrefAdvert advert;
+  for (int f = 0; f < 200; ++f) {
+    proto::PrefAdvert::Item item;
+    item.flow_id = static_cast<std::uint32_t>(f);
+    item.pref_of_candidate = {-10, -3, 0, 4, 10};
+    advert.flows.push_back(item);
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const proto::Bytes wire = proto::encode_frame(proto::encode_message(advert));
+    bytes += wire.size();
+    proto::FrameDecoder d;
+    d.feed(wire);
+    auto frame = d.next();
+    auto msg = proto::decode_message(*frame);
+    benchmark::DoNotOptimize(msg.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FrameCodecRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

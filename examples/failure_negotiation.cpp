@@ -1,0 +1,99 @@
+// Failure scenario (the paper's §2 second example, at scale): an
+// interconnection between two ISPs fails, the affected flows must be
+// re-routed, and naive early-exit overloads links. The ISPs renegotiate the
+// affected flows with bandwidth oracles and compare the resulting maximum
+// excess load (MEL) against default re-routing and the LP optimum.
+//
+//   ./build/examples/failure_negotiation [--seed=N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "capacity/capacity.hpp"
+#include "core/engine.hpp"
+#include "core/oracles.hpp"
+#include "metrics/metrics.hpp"
+#include "opt/min_max_load.hpp"
+#include "sim/pair_universe.hpp"
+#include "traffic/traffic.hpp"
+#include "util/flags.hpp"
+
+using namespace nexit;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  // A pair with >= 3 interconnections so failure leaves >= 2 survivors.
+  sim::UniverseConfig ucfg;
+  ucfg.isp_count = 30;
+  ucfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+  ucfg.max_pairs = 1;
+  auto pairs = sim::build_pair_universe(ucfg, 3);
+  if (pairs.empty()) {
+    std::cerr << "no 3-interconnection pair for this seed; try another\n";
+    return 1;
+  }
+  const topology::IspPair& pair = pairs.front();
+  routing::PairRouting routing(pair);
+
+  // Gravity traffic A -> B; capacities proportional to pre-failure load.
+  util::Rng rng(ucfg.seed);
+  auto tm = traffic::TrafficMatrix::build(pair, traffic::Direction::kAtoB,
+                                          traffic::TrafficConfig{}, rng);
+  std::vector<std::size_t> all_ix(pair.interconnection_count());
+  for (std::size_t i = 0; i < all_ix.size(); ++i) all_ix[i] = i;
+  auto pre_failure = routing::assign_early_exit(routing, tm.flows(), all_ix);
+  auto baseline = routing::compute_loads(routing, tm.flows(), pre_failure);
+  auto caps = capacity::assign_capacities(baseline, capacity::CapacityConfig{});
+
+  // Fail the busiest interconnection.
+  std::vector<std::size_t> usage(pair.interconnection_count(), 0);
+  for (std::size_t ix : pre_failure.ix_of_flow) usage[ix]++;
+  std::size_t failed = 0;
+  for (std::size_t i = 1; i < usage.size(); ++i)
+    if (usage[i] > usage[failed]) failed = i;
+
+  std::cout << "pair " << pair.label() << ": failing the "
+            << pair.interconnections()[failed].city_name
+            << " interconnection (" << usage[failed] << " of " << tm.size()
+            << " flows used it)\n";
+
+  auto problem = core::make_failure_problem(routing, tm.flows(), failed);
+  std::cout << problem.negotiable.size() << " affected flows ("
+            << 100.0 * problem.negotiable_volume() / tm.total_volume()
+            << "% of traffic) negotiate over " << problem.candidates.size()
+            << " surviving interconnections\n";
+
+  // Default re-routing: early-exit over the survivors.
+  auto report = [&](const char* name, const routing::LoadMap& loads) {
+    std::printf("  %-22s MEL upstream %6.3f   downstream %6.3f\n", name,
+                metrics::side_mel(loads, caps, 0),
+                metrics::side_mel(loads, caps, 1));
+  };
+  report("default (early-exit):",
+         routing::compute_loads(routing, tm.flows(), problem.default_assignment));
+
+  // Negotiated: Nexit with bandwidth oracles, reassign every 5% of traffic.
+  core::PreferenceConfig prefs;
+  core::BandwidthOracle oracle_a(0, prefs, caps), oracle_b(1, prefs, caps);
+  core::NegotiationConfig ncfg;
+  ncfg.reassign_traffic_fraction = 0.05;
+  core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
+  auto outcome = engine.run();
+  report("negotiated (Nexit):",
+         routing::compute_loads(routing, tm.flows(), outcome.assignment));
+  std::printf("    (%zu flows moved off their post-failure default, "
+              "%zu reassignments)\n",
+              outcome.flows_moved, outcome.reassignments);
+
+  // Globally optimal (fractional LP) for reference.
+  std::vector<char> negotiable(tm.size(), 0);
+  for (std::size_t idx : problem.negotiable) negotiable[idx] = 1;
+  auto lp = opt::solve_min_max_load(routing, tm.flows(), negotiable, pre_failure,
+                                    problem.candidates, caps);
+  if (lp.status == lp::SolveStatus::kOptimal) {
+    report("optimal (LP, fractional):",
+           routing::compute_loads_fractional(routing, tm.flows(), lp.assignment));
+  }
+  return 0;
+}

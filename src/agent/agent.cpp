@@ -1,0 +1,626 @@
+#include "agent/agent.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace nexit::agent {
+
+namespace {
+
+proto::Hello make_hello(const AgentConfig& config, bool wants_reassignment) {
+  proto::Hello h;
+  h.asn = config.asn;
+  h.pref_range = config.negotiation.preferences.range;
+  h.wants_reassignment = wants_reassignment;
+  h.reassign_fraction = config.negotiation.reassign_traffic_fraction;
+  h.turn_policy = static_cast<std::uint8_t>(config.negotiation.turn);
+  h.proposal_policy = static_cast<std::uint8_t>(config.negotiation.proposal);
+  h.acceptance_policy = static_cast<std::uint8_t>(config.negotiation.acceptance);
+  h.termination_policy =
+      static_cast<std::uint8_t>(config.negotiation.termination);
+  h.settlement_rollback = config.negotiation.settlement_rollback;
+  return h;
+}
+
+/// The contractual fields both sides must agree on (everything but identity
+/// and statefulness).
+bool contract_matches(const proto::Hello& a, const proto::Hello& b) {
+  return a.pref_range == b.pref_range &&
+         a.reassign_fraction == b.reassign_fraction &&
+         a.turn_policy == b.turn_policy &&
+         a.proposal_policy == b.proposal_policy &&
+         a.acceptance_policy == b.acceptance_policy &&
+         a.termination_policy == b.termination_policy &&
+         a.settlement_rollback == b.settlement_rollback;
+}
+
+}  // namespace
+
+std::string to_string(AgentState s) {
+  switch (s) {
+    case AgentState::kHandshake: return "handshake";
+    case AgentState::kNegotiating: return "negotiating";
+    case AgentState::kAwaitResponse: return "await-response";
+    case AgentState::kSettling: return "settling";
+    case AgentState::kStopping: return "stopping";
+    case AgentState::kDone: return "done";
+    case AgentState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+NegotiationAgent::NegotiationAgent(const core::NegotiationProblem& problem,
+                                   core::PreferenceOracle& oracle,
+                                   Channel& channel, AgentConfig config)
+    : problem_(problem), oracle_(&oracle), channel_(&channel), config_(config) {
+  problem_.validate();
+  if (config_.side != 0 && config_.side != 1)
+    throw std::invalid_argument("AgentConfig: side must be 0 or 1");
+  if (config_.negotiation.tie_break != core::TieBreak::kDeterministic)
+    throw std::invalid_argument(
+        "AgentConfig: wire agents require TieBreak::kDeterministic");
+  if (config_.negotiation.turn == core::TurnPolicy::kCoinToss)
+    throw std::invalid_argument("AgentConfig: kCoinToss unsupported on the wire");
+  if (config_.negotiation.termination == core::TerminationPolicy::kFull)
+    throw std::invalid_argument("AgentConfig: kFull unsupported on the wire");
+
+  tentative_ = problem_.default_assignment;
+  remaining_.assign(problem_.negotiable.size(), 1);
+  banned_.assign(problem_.negotiable.size(),
+                 std::vector<char>(problem_.candidates.size(), 0));
+  default_ci_.reserve(problem_.negotiable.size());
+  for (std::size_t pos = 0; pos < problem_.negotiable.size(); ++pos)
+    default_ci_.push_back(problem_.default_candidate(pos));
+  remaining_count_ = problem_.negotiable.size();
+  reassign_quantum_ = config_.negotiation.reassign_traffic_fraction *
+                      problem_.negotiable_volume();
+}
+
+const core::NegotiationOutcome& NegotiationAgent::outcome() const {
+  if (state_ != AgentState::kDone)
+    throw std::logic_error("NegotiationAgent::outcome: session not done");
+  return outcome_;
+}
+
+void NegotiationAgent::send_message(const proto::Message& m) {
+  channel_->send(proto::encode_frame(proto::encode_message(m)));
+}
+
+void NegotiationAgent::fail(const std::string& why) {
+  state_ = AgentState::kFailed;
+  error_ = why;
+}
+
+std::size_t NegotiationAgent::pos_of_flow(std::uint32_t flow_id) const {
+  for (std::size_t pos = 0; pos < problem_.negotiable.size(); ++pos) {
+    if (static_cast<std::uint32_t>(problem_.negotiable_flow(pos).id.value()) ==
+        flow_id)
+      return pos;
+  }
+  throw std::out_of_range("unknown flow id");
+}
+
+std::size_t NegotiationAgent::ci_of_ix(std::uint32_t ix_id) const {
+  for (std::size_t ci = 0; ci < problem_.candidates.size(); ++ci) {
+    if (static_cast<std::uint32_t>(problem_.candidates[ci]) == ix_id) return ci;
+  }
+  throw std::out_of_range("unknown interconnection id");
+}
+
+core::StrategyView NegotiationAgent::my_view() const {
+  core::StrategyView v;
+  v.remaining = &remaining_;
+  v.banned = &banned_;
+  v.default_ci = &default_ci_;
+  v.my_disclosed = &my_disclosed_;
+  v.remote_disclosed = &remote_disclosed_;
+  v.my_true_value = &truth_.true_value;
+  return v;
+}
+
+int NegotiationAgent::current_proposer() const {
+  switch (config_.negotiation.turn) {
+    case core::TurnPolicy::kAlternate:
+      return static_cast<int>(round_ % 2);
+    case core::TurnPolicy::kLowerGain:
+      if (disclosed_gain_[0] == disclosed_gain_[1])
+        return static_cast<int>(round_ % 2);
+      return disclosed_gain_[0] < disclosed_gain_[1] ? 0 : 1;
+    case core::TurnPolicy::kCoinToss:
+      break;
+  }
+  throw std::logic_error("current_proposer: bad policy");
+}
+
+void NegotiationAgent::send_pref_advert(bool reassignment) {
+  proto::PrefAdvert advert;
+  advert.reassignment = reassignment;
+  advert.flows.reserve(problem_.negotiable.size());
+  for (std::size_t pos = 0; pos < problem_.negotiable.size(); ++pos) {
+    proto::PrefAdvert::Item item;
+    item.flow_id =
+        static_cast<std::uint32_t>(problem_.negotiable_flow(pos).id.value());
+    for (core::PrefClass p : my_disclosed_.flows[pos].pref_of_candidate)
+      item.pref_of_candidate.push_back(p);
+    advert.flows.push_back(std::move(item));
+  }
+  send_message(advert);
+}
+
+void NegotiationAgent::send_handshake() {
+  const core::OracleContext ctx{&problem_, &tentative_, &remaining_};
+  truth_ = oracle_->evaluate(ctx);
+  // Honest disclosure on the wire; remote truth is unknowable here, so the
+  // decorator hook gets our own classes as a stand-in (honest oracles ignore
+  // the argument entirely).
+  my_disclosed_ = oracle_->disclose(ctx, truth_.classes, truth_.classes);
+  if (truth_.classes.flows.size() != problem_.negotiable.size())
+    throw std::logic_error("oracle returned wrong number of flows");
+
+  send_message(make_hello(config_, oracle_->wants_reassignment()));
+  proto::Candidates cands;
+  for (std::size_t ix : problem_.candidates)
+    cands.interconnection_ids.push_back(static_cast<std::uint32_t>(ix));
+  send_message(cands);
+  proto::FlowAnnounce fa;
+  for (std::size_t pos = 0; pos < problem_.negotiable.size(); ++pos) {
+    proto::FlowAnnounce::Item item;
+    item.flow_id =
+        static_cast<std::uint32_t>(problem_.negotiable_flow(pos).id.value());
+    item.default_interconnection =
+        static_cast<std::uint32_t>(problem_.default_ix(pos));
+    item.size = problem_.negotiable_flow(pos).size;
+    fa.flows.push_back(item);
+  }
+  send_message(fa);
+  send_pref_advert(false);
+  sent_handshake_ = true;
+}
+
+void NegotiationAgent::handle_handshake_message(const proto::Message& m) {
+  switch (handshake_received_) {
+    case 0: {
+      const auto* hello = std::get_if<proto::Hello>(&m);
+      if (hello == nullptr) return fail("expected HELLO");
+      if (!contract_matches(*hello,
+                            make_hello(config_, oracle_->wants_reassignment())))
+        return fail("contractual parameter mismatch");
+      remote_hello_ = *hello;
+      break;
+    }
+    case 1: {
+      const auto* cands = std::get_if<proto::Candidates>(&m);
+      if (cands == nullptr) return fail("expected CANDIDATES");
+      if (cands->interconnection_ids.size() != problem_.candidates.size())
+        return fail("candidate set mismatch");
+      for (std::size_t i = 0; i < problem_.candidates.size(); ++i) {
+        if (cands->interconnection_ids[i] !=
+            static_cast<std::uint32_t>(problem_.candidates[i]))
+          return fail("candidate set mismatch");
+      }
+      break;
+    }
+    case 2: {
+      const auto* fa = std::get_if<proto::FlowAnnounce>(&m);
+      if (fa == nullptr) return fail("expected FLOW_ANNOUNCE");
+      if (fa->flows.size() != problem_.negotiable.size())
+        return fail("flow set mismatch");
+      for (std::size_t pos = 0; pos < fa->flows.size(); ++pos) {
+        const auto& item = fa->flows[pos];
+        const auto& flow = problem_.negotiable_flow(pos);
+        if (item.flow_id != static_cast<std::uint32_t>(flow.id.value()) ||
+            item.default_interconnection !=
+                static_cast<std::uint32_t>(problem_.default_ix(pos)) ||
+            std::abs(item.size - flow.size) > 1e-9)
+          return fail("flow set mismatch");
+      }
+      break;
+    }
+    case 3: {
+      const auto* advert = std::get_if<proto::PrefAdvert>(&m);
+      if (advert == nullptr || advert->reassignment)
+        return fail("expected initial PREF_ADVERT");
+      remote_disclosed_.flows.clear();
+      if (advert->flows.size() != problem_.negotiable.size())
+        return fail("preference list shape mismatch");
+      for (std::size_t pos = 0; pos < advert->flows.size(); ++pos) {
+        const auto& item = advert->flows[pos];
+        if (item.flow_id !=
+                static_cast<std::uint32_t>(
+                    problem_.negotiable_flow(pos).id.value()) ||
+            item.pref_of_candidate.size() != problem_.candidates.size())
+          return fail("preference list shape mismatch");
+        core::FlowPreferences fp;
+        fp.flow = problem_.negotiable_flow(pos).id;
+        const int range = config_.negotiation.preferences.range;
+        for (std::int32_t p : item.pref_of_candidate) {
+          if (p < -range || p > range)
+            return fail("preference class out of agreed range");
+          fp.pref_of_candidate.push_back(p);
+        }
+        remote_disclosed_.flows.push_back(std::move(fp));
+      }
+      state_ = AgentState::kNegotiating;
+      break;
+    }
+    default:
+      return fail("unexpected handshake message");
+  }
+  ++handshake_received_;
+}
+
+void NegotiationAgent::apply_accept(std::size_t pos, std::size_t ci) {
+  const std::size_t ix = problem_.candidates[ci];
+  for (std::size_t flow_index : problem_.members_of(pos))
+    tentative_.ix_of_flow[flow_index] = ix;
+  if (ix != problem_.default_ix(pos))
+    accepted_moves_.push_back(AcceptedMove{pos, ci, truth_.true_value[pos][ci], false});
+  true_gain_ += truth_.true_value[pos][ci];
+  disclosed_gain_[config_.side] += my_disclosed_.flows[pos].pref_of_candidate[ci];
+  disclosed_gain_[1 - config_.side] +=
+      remote_disclosed_.flows[pos].pref_of_candidate[ci];
+  remaining_[pos] = 0;
+  --remaining_count_;
+  ++outcome_.flows_negotiated;
+  if (ix != problem_.default_ix(pos)) ++outcome_.flows_moved;
+  for (std::size_t flow_index : problem_.members_of(pos))
+    volume_since_reassign_ += (*problem_.flows)[flow_index].size;
+}
+
+void NegotiationAgent::maybe_trigger_reassignment() {
+  if (remaining_count_ == 0 || reassign_quantum_ <= 0.0) return;
+  const bool anyone_stateful =
+      oracle_->wants_reassignment() || remote_hello_.wants_reassignment;
+  if (!anyone_stateful || volume_since_reassign_ < reassign_quantum_) return;
+
+  volume_since_reassign_ = 0.0;
+  ++outcome_.reassignments;
+  if (oracle_->wants_reassignment()) {
+    const core::OracleContext ctx{&problem_, &tentative_, &remaining_};
+    truth_ = oracle_->evaluate(ctx);
+    my_disclosed_ = oracle_->disclose(ctx, truth_.classes, remote_disclosed_);
+    send_pref_advert(true);
+  }
+  awaiting_remote_advert_ = remote_hello_.wants_reassignment;
+}
+
+void NegotiationAgent::handle_propose(const proto::Propose& m) {
+  if (state_ != AgentState::kNegotiating)
+    return fail("PROPOSE in state " + to_string(state_));
+  if (current_proposer() == config_.side) return fail("PROPOSE out of turn");
+  if (m.seq != round_) return fail("PROPOSE with bad sequence number");
+
+  std::size_t pos = 0, ci = 0;
+  try {
+    pos = pos_of_flow(m.flow_id);
+    ci = ci_of_ix(m.interconnection_id);
+  } catch (const std::out_of_range&) {
+    return fail("PROPOSE references unknown flow/interconnection");
+  }
+  if (!remaining_[pos]) return fail("PROPOSE for already-negotiated flow");
+  if (banned_[pos][ci]) return fail("PROPOSE for vetoed alternative");
+
+  const double own_pref = truth_.true_value[pos][ci];
+  bool accept = true;
+  switch (config_.negotiation.acceptance) {
+    case core::AcceptancePolicy::kAlwaysAccept:
+      break;
+    case core::AcceptancePolicy::kVetoOwnLoss:
+      accept = own_pref >= 0;
+      break;
+    case core::AcceptancePolicy::kProtective: {
+      if (true_gain_ + own_pref < 0) {
+        remaining_[pos] = 0;
+        const core::Projection rest = core::project_future(my_view());
+        remaining_[pos] = 1;
+        accept = true_gain_ + own_pref + rest.peak >= 0;
+      }
+      break;
+    }
+  }
+
+  proto::Response resp;
+  resp.seq = m.seq;
+  resp.accepted = accept;
+  send_message(resp);
+
+  if (accept) {
+    apply_accept(pos, ci);
+  } else {
+    banned_[pos][ci] = 1;
+  }
+  ++round_;
+  if (accept) maybe_trigger_reassignment();
+}
+
+void NegotiationAgent::handle_response(const proto::Response& m) {
+  if (state_ != AgentState::kAwaitResponse)
+    return fail("RESPONSE in state " + to_string(state_));
+  if (m.seq != round_) return fail("RESPONSE with bad sequence number");
+  state_ = AgentState::kNegotiating;
+  if (m.accepted) {
+    apply_accept(outstanding_.pos, outstanding_.ci);
+  } else {
+    banned_[outstanding_.pos][outstanding_.ci] = 1;
+  }
+  ++round_;
+  if (m.accepted) maybe_trigger_reassignment();
+}
+
+void NegotiationAgent::begin_settlement(core::StopReason reason,
+                                        bool i_stopped) {
+  outcome_.stop_reason = reason;
+  if (!config_.negotiation.settlement_rollback) {
+    if (i_stopped) {
+      state_ = AgentState::kStopping;  // await BYE
+    } else {
+      send_message(proto::Bye{});
+      finish(reason);
+    }
+    return;
+  }
+  state_ = AgentState::kSettling;
+  last_received_rollback_empty_ = false;
+  if (i_stopped) send_settlement_turn();  // the stopper speaks first
+}
+
+void NegotiationAgent::send_settlement_turn() {
+  // Greedy, mirrors NegotiationEngine::compute_rollback: while below
+  // default, roll back the concession that hurts most (first-lowest index on
+  // ties).
+  std::vector<std::size_t> picked;
+  double cum = true_gain_;
+  std::vector<char> taken(accepted_moves_.size(), 0);
+  while (cum < -1e-12) {
+    std::ptrdiff_t worst = -1;
+    for (std::size_t i = 0; i < accepted_moves_.size(); ++i) {
+      const AcceptedMove& m = accepted_moves_[i];
+      if (m.rolled_back || taken[i] || m.own_value >= 0.0) continue;
+      if (worst < 0 ||
+          m.own_value < accepted_moves_[static_cast<std::size_t>(worst)].own_value)
+        worst = static_cast<std::ptrdiff_t>(i);
+    }
+    if (worst < 0) break;
+    taken[static_cast<std::size_t>(worst)] = 1;
+    cum -= accepted_moves_[static_cast<std::size_t>(worst)].own_value;
+    picked.push_back(static_cast<std::size_t>(worst));
+  }
+
+  if (picked.empty() && last_received_rollback_empty_) {
+    send_message(proto::Bye{});
+    finish(outcome_.stop_reason);
+    return;
+  }
+
+  proto::Rollback msg;
+  for (std::size_t mi : picked) {
+    AcceptedMove& m = accepted_moves_[mi];
+    for (std::size_t flow_index : problem_.members_of(m.pos))
+      tentative_.ix_of_flow[flow_index] = problem_.default_ix(m.pos);
+    true_gain_ -= m.own_value;
+    m.rolled_back = true;
+    ++outcome_.flows_rolled_back;
+    msg.flow_ids.push_back(
+        static_cast<std::uint32_t>(problem_.negotiable_flow(m.pos).id.value()));
+  }
+  send_message(msg);
+}
+
+void NegotiationAgent::handle_rollback(
+    const std::vector<std::uint32_t>& flow_ids) {
+  if (state_ != AgentState::kSettling && state_ != AgentState::kStopping)
+    return fail("ROLLBACK outside settlement");
+  for (std::uint32_t id : flow_ids) {
+    std::size_t pos = 0;
+    try {
+      pos = pos_of_flow(id);
+    } catch (const std::out_of_range&) {
+      return fail("ROLLBACK references unknown flow");
+    }
+    bool found = false;
+    for (AcceptedMove& m : accepted_moves_) {
+      if (m.pos == pos && !m.rolled_back) {
+        for (std::size_t flow_index : problem_.members_of(pos))
+          tentative_.ix_of_flow[flow_index] = problem_.default_ix(pos);
+        true_gain_ -= m.own_value;
+        m.rolled_back = true;
+        ++outcome_.flows_rolled_back;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return fail("ROLLBACK for flow that never moved");
+  }
+  last_received_rollback_empty_ = flow_ids.empty();
+  send_settlement_turn();
+}
+
+void NegotiationAgent::finish(core::StopReason reason) {
+  outcome_.assignment = tentative_;
+  if (config_.side == 0) {
+    outcome_.true_gain_a = true_gain_;
+    outcome_.true_gain_b = disclosed_gain_[1];  // best visible estimate
+  } else {
+    outcome_.true_gain_b = true_gain_;
+    outcome_.true_gain_a = disclosed_gain_[0];
+  }
+  outcome_.disclosed_gain_a = disclosed_gain_[0];
+  outcome_.disclosed_gain_b = disclosed_gain_[1];
+  outcome_.rounds = round_;
+  outcome_.stop_reason = reason;
+  state_ = AgentState::kDone;
+}
+
+void NegotiationAgent::handle_message(const proto::Message& m) {
+  if (state_ == AgentState::kHandshake) {
+    handle_handshake_message(m);
+    return;
+  }
+  if (const auto* advert = std::get_if<proto::PrefAdvert>(&m)) {
+    if (!advert->reassignment || !awaiting_remote_advert_)
+      return fail("unexpected PREF_ADVERT");
+    if (advert->flows.size() != problem_.negotiable.size())
+      return fail("reassignment shape mismatch");
+    for (std::size_t pos = 0; pos < advert->flows.size(); ++pos) {
+      if (advert->flows[pos].pref_of_candidate.size() !=
+          problem_.candidates.size())
+        return fail("reassignment shape mismatch");
+      auto& row = remote_disclosed_.flows[pos].pref_of_candidate;
+      row.assign(advert->flows[pos].pref_of_candidate.begin(),
+                 advert->flows[pos].pref_of_candidate.end());
+    }
+    awaiting_remote_advert_ = false;
+    return;
+  }
+  if (const auto* propose = std::get_if<proto::Propose>(&m)) {
+    if (awaiting_remote_advert_) return fail("PROPOSE before reassignment");
+    handle_propose(*propose);
+    return;
+  }
+  if (const auto* response = std::get_if<proto::Response>(&m)) {
+    handle_response(*response);
+    return;
+  }
+  if (const auto* stop = std::get_if<proto::Stop>(&m)) {
+    if (state_ != AgentState::kNegotiating)
+      return fail("STOP in state " + to_string(state_));
+    begin_settlement(static_cast<core::StopReason>(stop->reason),
+                     /*i_stopped=*/false);
+    return;
+  }
+  if (const auto* rollback = std::get_if<proto::Rollback>(&m)) {
+    handle_rollback(rollback->flow_ids);
+    return;
+  }
+  if (std::get_if<proto::Bye>(&m) != nullptr) {
+    if (state_ != AgentState::kStopping && state_ != AgentState::kSettling)
+      return fail("unexpected BYE");
+    finish(outcome_.stop_reason);
+    return;
+  }
+  fail("unexpected message");
+}
+
+void NegotiationAgent::maybe_act() {
+  if (state_ != AgentState::kNegotiating || awaiting_remote_advert_) return;
+  if (current_proposer() != config_.side) return;
+
+  core::StopReason stop_reason{};
+  bool stop = false;
+  if (remaining_count_ == 0) {
+    stop = true;
+    stop_reason = core::StopReason::kExhausted;
+  } else if (config_.negotiation.termination ==
+             core::TerminationPolicy::kEarly) {
+    const core::Projection f = core::project_future(my_view());
+    if (f.peak <= 0 && f.end < 0) {
+      stop = true;
+      stop_reason = config_.side == 0 ? core::StopReason::kEarlyStopA
+                                      : core::StopReason::kEarlyStopB;
+    }
+  }
+
+  core::ProposalChoice sel{};
+  if (!stop &&
+      !core::select_proposal(my_view(), config_.negotiation.proposal,
+                             /*rng=*/nullptr, sel)) {
+    stop = true;
+    stop_reason = core::StopReason::kNoProposal;
+  }
+
+  if (stop) {
+    proto::Stop m;
+    m.reason = static_cast<std::uint8_t>(stop_reason);
+    send_message(m);
+    begin_settlement(stop_reason, /*i_stopped=*/true);
+    return;
+  }
+
+  proto::Propose m;
+  m.seq = static_cast<std::uint32_t>(round_);
+  m.flow_id = static_cast<std::uint32_t>(
+      problem_.negotiable_flow(sel.pos).id.value());
+  m.interconnection_id =
+      static_cast<std::uint32_t>(problem_.candidates[sel.ci]);
+  outstanding_ = sel;
+  send_message(m);
+  state_ = AgentState::kAwaitResponse;
+}
+
+bool NegotiationAgent::step() {
+  if (state_ == AgentState::kDone || state_ == AgentState::kFailed)
+    return false;
+
+  const AgentState entry_state = state_;
+  const std::size_t entry_round = round_;
+  bool progress = false;
+
+  if (!sent_handshake_) {
+    try {
+      send_handshake();
+    } catch (const std::exception& e) {
+      fail(std::string("handshake send failed: ") + e.what());
+      return true;
+    }
+    progress = true;
+  }
+
+  const proto::Bytes incoming = channel_->receive();
+  if (!incoming.empty()) {
+    decoder_.feed(incoming);
+    progress = true;
+  }
+  if (decoder_.failed()) {
+    fail("stream error: " + decoder_.error());
+    return true;
+  }
+
+  while (state_ != AgentState::kDone && state_ != AgentState::kFailed) {
+    const auto frame = decoder_.next();
+    if (!frame.has_value()) break;
+    auto msg = proto::decode_message(*frame);
+    if (!msg.ok()) {
+      fail("decode error: " + msg.error().message);
+      return true;
+    }
+    handle_message(msg.value());
+    progress = true;
+  }
+  if (decoder_.failed()) {
+    fail("stream error: " + decoder_.error());
+    return true;
+  }
+
+  if (state_ == AgentState::kNegotiating) maybe_act();
+
+  if (channel_->closed() && state_ != AgentState::kDone &&
+      state_ != AgentState::kFailed) {
+    fail("peer closed the channel");
+    return true;
+  }
+
+  return progress || state_ != entry_state || round_ != entry_round;
+}
+
+std::size_t run_session(NegotiationAgent& a, NegotiationAgent& b,
+                        std::size_t max_steps) {
+  std::size_t steps = 0;
+  int idle_rounds = 0;
+  while (steps < max_steps) {
+    const bool pa = a.step();
+    const bool pb = b.step();
+    ++steps;
+    const bool a_settled = a.done() || a.failed();
+    const bool b_settled = b.done() || b.failed();
+    if (a_settled && b_settled) break;
+    if (!pa && !pb) {
+      if (++idle_rounds > 3) break;  // stalled
+    } else {
+      idle_rounds = 0;
+    }
+  }
+  return steps;
+}
+
+}  // namespace nexit::agent

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "agent/channel.hpp"
+#include "core/engine.hpp"
+#include "proto/messages.hpp"
+
+namespace nexit::agent {
+
+/// Where the agent is in the session.
+enum class AgentState {
+  kHandshake,     // exchanging HELLO/CANDIDATES/FLOW_ANNOUNCE/PREF_ADVERT
+  kNegotiating,   // rounds of PROPOSE/RESPONSE
+  kAwaitResponse, // sent a PROPOSE, waiting for the verdict
+  kSettling,      // exchanging ROLLBACK lists after STOP (§6 settlement)
+  kStopping,      // awaiting the final BYE
+  kDone,
+  kFailed,
+};
+
+std::string to_string(AgentState s);
+
+struct AgentConfig {
+  /// 0 = ISP A (proposes in round 0 under the alternate policy), 1 = ISP B.
+  int side = 0;
+  std::uint32_t asn = 0;
+  /// Protocol parameters; contractual fields must match the peer's.
+  /// Restrictions versus the in-process engine: tie_break must be
+  /// kDeterministic and turn must not be kCoinToss (both sides of the wire
+  /// must reach identical decisions without sharing an RNG), and kFull
+  /// termination is not supported (it requires both ISPs' private gains at
+  /// once, which only the simulation engine can see).
+  core::NegotiationConfig negotiation;
+};
+
+/// One side of the out-of-band negotiation of Fig. 12: evaluates routing
+/// choices through its oracle, advertises opaque preferences, exchanges
+/// proposals over the channel, and reports the agreed assignment. Decision
+/// logic is the shared core/strategy.hpp code, so a session between two
+/// honest agents reproduces NegotiationEngine::run() exactly
+/// (tests/agent_test.cpp asserts this).
+class NegotiationAgent {
+ public:
+  NegotiationAgent(const core::NegotiationProblem& problem,
+                   core::PreferenceOracle& oracle, Channel& channel,
+                   AgentConfig config);
+
+  /// Advances the FSM: drains the channel, handles complete frames, and
+  /// takes any proactive action (sending handshake, proposing, stopping).
+  /// Returns true if anything happened.
+  bool step();
+
+  [[nodiscard]] AgentState state() const { return state_; }
+  [[nodiscard]] bool done() const { return state_ == AgentState::kDone; }
+  [[nodiscard]] bool failed() const { return state_ == AgentState::kFailed; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Valid once done(): the negotiated outcome as seen by this side.
+  [[nodiscard]] const core::NegotiationOutcome& outcome() const;
+
+ private:
+  void send_message(const proto::Message& m);
+  void fail(const std::string& why);
+  void send_handshake();
+  void handle_message(const proto::Message& m);
+  void handle_handshake_message(const proto::Message& m);
+  void handle_propose(const proto::Propose& m);
+  void handle_response(const proto::Response& m);
+  void apply_accept(std::size_t pos, std::size_t ci);
+  void maybe_trigger_reassignment();
+  void send_pref_advert(bool reassignment);
+  void handle_rollback(const std::vector<std::uint32_t>& flow_ids);
+  /// Computes, applies and sends this side's next ROLLBACK list; sends BYE
+  /// and finishes instead when settlement has converged.
+  void send_settlement_turn();
+  void begin_settlement(core::StopReason reason, bool i_stopped);
+  void maybe_act();
+  [[nodiscard]] int current_proposer() const;
+  [[nodiscard]] core::StrategyView my_view() const;
+  [[nodiscard]] std::size_t pos_of_flow(std::uint32_t flow_id) const;
+  [[nodiscard]] std::size_t ci_of_ix(std::uint32_t ix_id) const;
+  void finish(core::StopReason reason);
+
+  const core::NegotiationProblem& problem_;
+  core::PreferenceOracle* oracle_;
+  Channel* channel_;
+  AgentConfig config_;
+
+  proto::FrameDecoder decoder_;
+  AgentState state_ = AgentState::kHandshake;
+  std::string error_;
+
+  // Handshake bookkeeping.
+  bool sent_handshake_ = false;
+  int handshake_received_ = 0;  // how many of the 4 peer messages arrived
+  proto::Hello remote_hello_;
+
+  // Negotiation state (mirrors NegotiationEngine).
+  routing::Assignment tentative_;
+  std::vector<char> remaining_;
+  std::vector<std::vector<char>> banned_;
+  std::vector<std::size_t> default_ci_;
+  core::Evaluation truth_;
+  core::PreferenceList my_disclosed_;
+  core::PreferenceList remote_disclosed_;
+  double true_gain_ = 0.0;
+  int disclosed_gain_[2] = {0, 0};  // by side, from disclosed lists
+  std::size_t remaining_count_ = 0;
+  std::size_t round_ = 0;
+  double volume_since_reassign_ = 0.0;
+  double reassign_quantum_ = 0.0;
+  bool awaiting_remote_advert_ = false;
+  /// One accepted non-default move (settlement bookkeeping).
+  struct AcceptedMove {
+    std::size_t pos = 0;
+    std::size_t ci = 0;
+    double own_value = 0.0;
+    bool rolled_back = false;
+  };
+  std::vector<AcceptedMove> accepted_moves_;
+  bool last_received_rollback_empty_ = false;
+  core::ProposalChoice outstanding_{};
+  core::NegotiationOutcome outcome_;
+};
+
+/// Pumps both agents until completion or `max_steps`; returns steps used.
+/// Stalls (no progress while incomplete) count as failure of both sides.
+std::size_t run_session(NegotiationAgent& a, NegotiationAgent& b,
+                        std::size_t max_steps = 100000);
+
+}  // namespace nexit::agent

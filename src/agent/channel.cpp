@@ -1,0 +1,140 @@
+#include "agent/channel.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <deque>
+#include <stdexcept>
+
+namespace nexit::agent {
+
+namespace {
+
+/// Shared state of an in-memory duplex pipe.
+struct PipeState {
+  std::deque<std::uint8_t> a_to_b;
+  std::deque<std::uint8_t> b_to_a;
+  bool closed = false;
+};
+
+class InMemoryChannel : public Channel {
+ public:
+  InMemoryChannel(std::shared_ptr<PipeState> state, bool is_a)
+      : state_(std::move(state)), is_a_(is_a) {}
+
+  void send(const proto::Bytes& data) override {
+    if (state_->closed) throw std::runtime_error("channel closed");
+    auto& q = is_a_ ? state_->a_to_b : state_->b_to_a;
+    q.insert(q.end(), data.begin(), data.end());
+  }
+
+  proto::Bytes receive() override {
+    auto& q = is_a_ ? state_->b_to_a : state_->a_to_b;
+    proto::Bytes out(q.begin(), q.end());
+    q.clear();
+    return out;
+  }
+
+  [[nodiscard]] bool closed() const override { return state_->closed; }
+  void close() override { state_->closed = true; }
+
+ private:
+  std::shared_ptr<PipeState> state_;
+  bool is_a_;
+};
+
+class SocketChannel : public Channel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { close(); }
+
+  void send(const proto::Bytes& data) override {
+    if (fd_ < 0) throw std::runtime_error("channel closed");
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::write(fd_, data.data() + sent, data.size() - sent);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+        throw std::runtime_error("socket write failed");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  proto::Bytes receive() override {
+    proto::Bytes out;
+    if (fd_ < 0) return out;
+    std::uint8_t buf[65536];
+    for (;;) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n > 0) {
+        out.insert(out.end(), buf, buf + n);
+        continue;
+      }
+      if (n == 0) {  // peer closed
+        close();
+      }
+      break;  // EAGAIN or closed: return what we have
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool closed() const override { return fd_ < 0; }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+make_in_memory_channel_pair() {
+  auto state = std::make_shared<PipeState>();
+  return {std::make_unique<InMemoryChannel>(state, true),
+          std::make_unique<InMemoryChannel>(state, false)};
+}
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+make_socket_channel_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw std::runtime_error("socketpair failed");
+  for (int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+  return {std::make_unique<SocketChannel>(fds[0]),
+          std::make_unique<SocketChannel>(fds[1])};
+}
+
+FaultyChannel::FaultyChannel(std::unique_ptr<Channel> inner,
+                             double drop_probability, double corrupt_probability,
+                             std::uint64_t seed)
+    : inner_(std::move(inner)), drop_p_(drop_probability),
+      corrupt_p_(corrupt_probability), rng_(seed) {}
+
+void FaultyChannel::send(const proto::Bytes& data) {
+  if (rng_.next_bool(drop_p_)) return;  // dropped on the floor
+  if (!data.empty() && rng_.next_bool(corrupt_p_)) {
+    proto::Bytes corrupted = data;
+    corrupted[rng_.pick_index(corrupted.size())] ^= 0x40;
+    inner_->send(corrupted);
+    return;
+  }
+  inner_->send(data);
+}
+
+proto::Bytes FaultyChannel::receive() { return inner_->receive(); }
+bool FaultyChannel::closed() const { return inner_->closed(); }
+void FaultyChannel::close() { inner_->close(); }
+
+}  // namespace nexit::agent

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "proto/wire.hpp"
+#include "util/rng.hpp"
+
+namespace nexit::agent {
+
+/// Byte-stream transport between two negotiation agents. Implementations are
+/// single-threaded and non-blocking: receive() returns whatever bytes are
+/// available right now (possibly none).
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Queues bytes toward the peer. Throws std::runtime_error if closed.
+  virtual void send(const proto::Bytes& data) = 0;
+
+  /// Drains available incoming bytes (possibly empty).
+  virtual proto::Bytes receive() = 0;
+
+  [[nodiscard]] virtual bool closed() const = 0;
+  virtual void close() = 0;
+};
+
+/// Deterministic in-memory pair: what one side sends the other receives.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+make_in_memory_channel_pair();
+
+/// AF_UNIX socketpair-backed pair (real kernel transport, still loopback).
+/// Sockets are non-blocking; RAII closes the fds.
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+make_socket_channel_pair();
+
+/// Fault-injection decorator for tests: drops or corrupts whole send() calls
+/// with the given probabilities (seeded, deterministic).
+class FaultyChannel : public Channel {
+ public:
+  FaultyChannel(std::unique_ptr<Channel> inner, double drop_probability,
+                double corrupt_probability, std::uint64_t seed);
+
+  void send(const proto::Bytes& data) override;
+  proto::Bytes receive() override;
+  [[nodiscard]] bool closed() const override;
+  void close() override;
+
+ private:
+  std::unique_ptr<Channel> inner_;
+  double drop_p_;
+  double corrupt_p_;
+  util::Rng rng_;
+};
+
+}  // namespace nexit::agent

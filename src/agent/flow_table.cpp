@@ -1,0 +1,64 @@
+#include "agent/flow_table.hpp"
+
+namespace nexit::agent {
+
+void FlowTable::roll_window(Entry& e, std::uint64_t now_ms) const {
+  // Complete as many whole windows as have elapsed; only the most recent
+  // completed window's rate is kept, windows with no traffic reset the
+  // above-threshold streak.
+  while (now_ms >= e.window_start_ms + config_.window_ms) {
+    const double secs = static_cast<double>(config_.window_ms) / 1000.0;
+    e.last_rate_bps = static_cast<double>(e.window_bytes) / secs;
+    if (e.last_rate_bps >= config_.rate_threshold_bps) {
+      ++e.windows_above;
+    } else {
+      e.windows_above = 0;
+    }
+    e.window_bytes = 0;
+    e.window_start_ms += config_.window_ms;
+  }
+}
+
+void FlowTable::record(const FlowSignature& sig, std::uint64_t bytes,
+                       std::uint64_t now_ms) {
+  auto [it, inserted] = flows_.try_emplace(sig);
+  Entry& e = it->second;
+  if (inserted) {
+    e.window_start_ms = now_ms;
+  } else {
+    roll_window(e, now_ms);
+  }
+  e.window_bytes += bytes;
+  e.last_seen_ms = now_ms;
+}
+
+std::size_t FlowTable::expire(std::uint64_t now_ms) {
+  std::size_t dropped = 0;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen_ms + config_.inactivity_timeout_ms < now_ms) {
+      it = flows_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::vector<FlowSignature> FlowTable::negotiable(std::uint64_t now_ms) const {
+  std::vector<FlowSignature> out;
+  for (const auto& [sig, entry] : flows_) {
+    Entry e = entry;  // roll a copy forward; the table itself is const here
+    roll_window(e, now_ms);
+    if (config_.rate_threshold_bps <= 0.0 || e.windows_above >= config_.hold_windows)
+      out.push_back(sig);
+  }
+  return out;
+}
+
+double FlowTable::rate_of(const FlowSignature& sig) const {
+  const auto it = flows_.find(sig);
+  return it == flows_.end() ? 0.0 : it->second.last_rate_bps;
+}
+
+}  // namespace nexit::agent

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+
+namespace nexit::agent {
+
+/// §6 flow signature: a flow is uniquely identified by the most-specific
+/// source and destination prefixes of its packets plus an opaque ingress
+/// identifier chosen by the upstream (different identifiers for different
+/// flows entering at the same place, to avoid leaking topology).
+struct FlowSignature {
+  bgp::Prefix src_prefix;
+  bgp::Prefix dst_prefix;
+  std::uint32_t ingress_id = 0;
+
+  friend bool operator==(const FlowSignature&, const FlowSignature&) = default;
+  friend bool operator<(const FlowSignature& a, const FlowSignature& b) {
+    if (!(a.src_prefix == b.src_prefix)) return a.src_prefix < b.src_prefix;
+    if (!(a.dst_prefix == b.dst_prefix)) return a.dst_prefix < b.dst_prefix;
+    return a.ingress_id < b.ingress_id;
+  }
+};
+
+struct FlowTableConfig {
+  /// Flows must sustain at least this rate (bytes/sec) to become negotiable;
+  /// 0 makes every observed flow negotiable immediately.
+  double rate_threshold_bps = 0.0;
+  /// ... for this many consecutive measurement windows ("stays above a
+  /// threshold for a certain period of time", §6).
+  int hold_windows = 2;
+  std::uint64_t window_ms = 1000;
+  /// Flows inactive for this long are timed out.
+  std::uint64_t inactivity_timeout_ms = 60000;
+};
+
+/// Tracks active flows the upstream observes, elevating long-lived
+/// high-bandwidth ones to "negotiable" and timing out idle ones. Driven by
+/// an explicit clock (milliseconds) so behaviour is deterministic in tests.
+class FlowTable {
+ public:
+  explicit FlowTable(FlowTableConfig config) : config_(config) {}
+
+  /// Records `bytes` observed for `sig` at time `now_ms`. New signatures
+  /// create entries ("the upstream signals the arrival of a new flow").
+  void record(const FlowSignature& sig, std::uint64_t bytes, std::uint64_t now_ms);
+
+  /// Expires flows inactive since before now_ms - inactivity_timeout_ms.
+  /// Returns how many were dropped.
+  std::size_t expire(std::uint64_t now_ms);
+
+  /// Signatures currently above the rate threshold for the hold duration.
+  [[nodiscard]] std::vector<FlowSignature> negotiable(std::uint64_t now_ms) const;
+
+  /// Most recent completed-window rate estimate for a flow (bytes/sec);
+  /// 0 if unknown.
+  [[nodiscard]] double rate_of(const FlowSignature& sig) const;
+
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t window_start_ms = 0;
+    std::uint64_t window_bytes = 0;
+    double last_rate_bps = 0.0;
+    int windows_above = 0;
+    std::uint64_t last_seen_ms = 0;
+  };
+
+  void roll_window(Entry& e, std::uint64_t now_ms) const;
+
+  FlowTableConfig config_;
+  std::map<FlowSignature, Entry> flows_;
+};
+
+}  // namespace nexit::agent

@@ -1,0 +1,88 @@
+#include "bgp/decision.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nexit::bgp {
+
+bool prefer(const Route& a, const Route& b, bool compare_med) {
+  if (a.local_pref != b.local_pref) return a.local_pref > b.local_pref;
+  if (a.as_path.size() != b.as_path.size())
+    return a.as_path.size() < b.as_path.size();
+  if (a.origin != b.origin)
+    return static_cast<int>(a.origin) < static_cast<int>(b.origin);
+  if (compare_med && a.med != b.med) return a.med < b.med;
+  if (a.igp_cost != b.igp_cost) return a.igp_cost < b.igp_cost;
+  return a.router_id < b.router_id;
+}
+
+std::size_t best_route(const std::vector<Route>& candidates,
+                       const DecisionConfig& config) {
+  if (candidates.empty())
+    throw std::invalid_argument("best_route: empty candidate set");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const Route& a = candidates[i];
+    const Route& b = candidates[best];
+    const bool med_comparable =
+        !config.ignore_med &&
+        (config.always_compare_med || a.neighbor_as == b.neighbor_as);
+    if (prefer(a, b, med_comparable)) best = i;
+  }
+  return best;
+}
+
+void RibIn::add_route(const Route& route) {
+  auto& routes = table_[route.prefix];
+  for (Route& r : routes) {
+    if (r.neighbor_as == route.neighbor_as && r.exit_id == route.exit_id) {
+      r = route;
+      return;
+    }
+  }
+  routes.push_back(route);
+}
+
+void RibIn::withdraw(const Prefix& prefix, std::uint32_t neighbor_as,
+                     std::uint32_t exit_id) {
+  const auto it = table_.find(prefix);
+  if (it == table_.end()) return;
+  auto& routes = it->second;
+  routes.erase(std::remove_if(routes.begin(), routes.end(),
+                              [&](const Route& r) {
+                                return r.neighbor_as == neighbor_as &&
+                                       r.exit_id == exit_id;
+                              }),
+               routes.end());
+  if (routes.empty()) table_.erase(it);
+}
+
+void RibIn::apply_local_pref_override(const Prefix& prefix,
+                                      std::uint32_t exit_id,
+                                      std::uint32_t local_pref) {
+  const auto it = table_.find(prefix);
+  if (it == table_.end())
+    throw std::invalid_argument("apply_local_pref_override: unknown prefix");
+  bool found = false;
+  for (Route& r : it->second) {
+    if (r.exit_id == exit_id) {
+      r.local_pref = local_pref;
+      found = true;
+    }
+  }
+  if (!found)
+    throw std::invalid_argument("apply_local_pref_override: unknown exit");
+}
+
+std::optional<Route> RibIn::best(const Prefix& prefix) const {
+  const auto it = table_.find(prefix);
+  if (it == table_.end() || it->second.empty()) return std::nullopt;
+  return it->second[best_route(it->second, config_)];
+}
+
+std::vector<Route> RibIn::candidates(const Prefix& prefix) const {
+  const auto it = table_.find(prefix);
+  return it == table_.end() ? std::vector<Route>{} : it->second;
+}
+
+}  // namespace nexit::bgp

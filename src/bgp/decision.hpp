@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace nexit::bgp {
+
+/// Knobs of the BGP decision process relevant to the paper.
+struct DecisionConfig {
+  /// Honor MEDs across neighbor ASes ("always-compare-med"). Off, MEDs are
+  /// only compared among routes from the same neighbor — the standard
+  /// behaviour. When the downstream attaches MEDs and the upstream honors
+  /// them, routing flips from early-exit to late-exit (paper Fig. 1b).
+  bool always_compare_med = false;
+  /// Skip the MED step entirely (upstream ignores downstream preferences).
+  bool ignore_med = false;
+};
+
+/// Returns the index of the best route under the (simplified) BGP decision
+/// process: local-pref desc, AS-path length asc, origin asc, MED asc (per
+/// neighbor unless always_compare_med), IGP cost asc (hot potato/early-exit),
+/// router id asc. Requires a non-empty candidate list, all for one prefix.
+std::size_t best_route(const std::vector<Route>& candidates,
+                       const DecisionConfig& config = {});
+
+/// Total order used by best_route, exposed for tests: true if `a` is
+/// strictly preferred over `b`. MED comparability must be decided by the
+/// caller (`compare_med` true when the two routes' MEDs are comparable).
+bool prefer(const Route& a, const Route& b, bool compare_med);
+
+/// Adj-RIB-In for one router/ISP: candidate routes per prefix, with best
+/// route selection. A thin but faithful model — enough to express early-exit,
+/// late-exit (MED honoring) and negotiated local-pref overrides.
+class RibIn {
+ public:
+  explicit RibIn(DecisionConfig config = {}) : config_(config) {}
+
+  /// Inserts or replaces the route from (neighbor_as, exit_id) for
+  /// route.prefix.
+  void add_route(const Route& route);
+
+  /// Withdraws the route for `prefix` from (neighbor_as, exit_id); no-op if
+  /// absent. Models interconnection failure.
+  void withdraw(const Prefix& prefix, std::uint32_t neighbor_as,
+                std::uint32_t exit_id);
+
+  /// Negotiated routing (§6): force the local-pref of the route to `prefix`
+  /// via `exit_id`, making it win the decision process.
+  void apply_local_pref_override(const Prefix& prefix, std::uint32_t exit_id,
+                                 std::uint32_t local_pref);
+
+  [[nodiscard]] std::optional<Route> best(const Prefix& prefix) const;
+  [[nodiscard]] std::vector<Route> candidates(const Prefix& prefix) const;
+  [[nodiscard]] std::size_t prefix_count() const { return table_.size(); }
+
+ private:
+  DecisionConfig config_;
+  std::map<Prefix, std::vector<Route>> table_;
+};
+
+}  // namespace nexit::bgp

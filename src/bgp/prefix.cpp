@@ -1,0 +1,52 @@
+#include "bgp/prefix.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nexit::bgp {
+
+std::uint32_t Prefix::mask() const {
+  if (length_ == 0) return 0;
+  return length_ >= 32 ? 0xffffffffu : ~((1u << (32 - length_)) - 1u);
+}
+
+Prefix::Prefix(std::uint32_t addr, int length) : length_(length) {
+  if (length < 0 || length > 32)
+    throw std::invalid_argument("Prefix: bad length");
+  addr_ = addr & mask();
+}
+
+std::optional<Prefix> Prefix::parse(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  int len = 0;
+  char slash = 0, dot1 = 0, dot2 = 0, dot3 = 0;
+  std::istringstream is(text);
+  is >> a >> dot1 >> b >> dot2 >> c >> dot3 >> d >> slash >> len;
+  if (!is || dot1 != '.' || dot2 != '.' || dot3 != '.' || slash != '/')
+    return std::nullopt;
+  std::string rest;
+  if (is >> rest) return std::nullopt;  // trailing garbage
+  if (a > 255 || b > 255 || c > 255 || d > 255 || len < 0 || len > 32)
+    return std::nullopt;
+  const std::uint32_t addr = (a << 24) | (b << 16) | (c << 8) | d;
+  return Prefix(addr, len);
+}
+
+bool Prefix::contains(std::uint32_t ip) const { return (ip & mask()) == addr_; }
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length_ >= length_ && contains(other.addr_);
+}
+
+bool Prefix::more_specific_than(const Prefix& other) const {
+  return length_ > other.length_ && other.contains(*this);
+}
+
+std::string Prefix::to_string() const {
+  std::ostringstream os;
+  os << ((addr_ >> 24) & 0xff) << '.' << ((addr_ >> 16) & 0xff) << '.'
+     << ((addr_ >> 8) & 0xff) << '.' << (addr_ & 0xff) << '/' << length_;
+  return os.str();
+}
+
+}  // namespace nexit::bgp

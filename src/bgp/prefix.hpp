@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace nexit::bgp {
+
+/// IPv4 routing prefix, e.g. 10.12.0.0/16. Used for flow signatures (§6 of
+/// the paper: a flow is identified by its most-specific source and
+/// destination prefixes plus an ingress identifier).
+class Prefix {
+ public:
+  Prefix() = default;
+  /// `addr` is host byte order; bits below `length` are masked off.
+  Prefix(std::uint32_t addr, int length);
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Prefix> parse(const std::string& text);
+
+  [[nodiscard]] std::uint32_t addr() const { return addr_; }
+  [[nodiscard]] int length() const { return length_; }
+
+  [[nodiscard]] bool contains(std::uint32_t ip) const;
+  [[nodiscard]] bool contains(const Prefix& other) const;
+
+  /// True if this prefix is more specific (longer) than `other` and nested
+  /// inside it.
+  [[nodiscard]] bool more_specific_than(const Prefix& other) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+  friend bool operator<(const Prefix& a, const Prefix& b) {
+    return a.addr_ != b.addr_ ? a.addr_ < b.addr_ : a.length_ < b.length_;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t mask() const;
+
+  std::uint32_t addr_ = 0;
+  int length_ = 0;
+};
+
+}  // namespace nexit::bgp

@@ -1,0 +1,33 @@
+#include "bgp/route.hpp"
+
+#include <stdexcept>
+
+namespace nexit::bgp {
+
+Route Route::with_prepended(std::uint32_t asn, int count) const {
+  if (count < 0) throw std::invalid_argument("with_prepended: negative count");
+  Route copy = *this;
+  copy.as_path.insert(copy.as_path.begin(), static_cast<std::size_t>(count), asn);
+  return copy;
+}
+
+std::uint32_t default_local_pref(Relationship rel) {
+  switch (rel) {
+    case Relationship::kCustomer: return 200;
+    case Relationship::kPeer: return 100;
+    case Relationship::kSibling: return 100;
+    case Relationship::kProvider: return 50;
+  }
+  throw std::logic_error("default_local_pref: bad relationship");
+}
+
+bool should_export(Relationship learned_from, Relationship exporting_to) {
+  // Own/customer routes are exported to everyone; peer and provider routes
+  // only to customers (anything else forms a "valley" someone pays for).
+  if (learned_from == Relationship::kCustomer ||
+      learned_from == Relationship::kSibling)
+    return true;
+  return exporting_to == Relationship::kCustomer;
+}
+
+}  // namespace nexit::bgp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix.hpp"
+
+namespace nexit::bgp {
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+/// Commercial relationship with the neighbor a route was learned from.
+/// Drives default local-pref and export policy (Gao-style valley-free
+/// routing; paper §2.1: customers > peers > providers).
+enum class Relationship { kCustomer, kPeer, kProvider, kSibling };
+
+/// One BGP route: a prefix plus the attributes the decision process ranks.
+struct Route {
+  Prefix prefix;
+  std::vector<std::uint32_t> as_path;  // leftmost = neighbor AS
+  std::uint32_t local_pref = 100;
+  std::uint32_t med = 0;               // multi-exit discriminator (lower wins)
+  Origin origin = Origin::kIgp;
+  /// IGP distance to the route's exit point — the hot-potato tie-break that
+  /// produces early-exit routing.
+  double igp_cost = 0.0;
+  std::uint32_t neighbor_as = 0;       // who advertised it
+  std::uint32_t router_id = 0;         // final deterministic tie-break
+  /// Which interconnection this route would use (library-level bookkeeping).
+  std::uint32_t exit_id = 0;
+
+  /// AS-path prepending: the downstream's knob for de-preferring a link
+  /// (paper §2.1). Returns a copy with `count` extra copies of `asn`.
+  [[nodiscard]] Route with_prepended(std::uint32_t asn, int count) const;
+};
+
+/// Default local-pref by relationship: customer routes are the most
+/// preferred, then peers/siblings, then providers.
+std::uint32_t default_local_pref(Relationship rel);
+
+/// Valley-free export rule: routes learned from peers/providers are only
+/// exported to customers; customer and own routes go to everyone.
+bool should_export(Relationship learned_from, Relationship exporting_to);
+
+}  // namespace nexit::bgp

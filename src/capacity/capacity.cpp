@@ -1,0 +1,63 @@
+#include "capacity/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace nexit::capacity {
+
+namespace {
+
+std::vector<double> assign_side(const std::vector<double>& loads,
+                                const CapacityConfig& config) {
+  std::vector<double> caps = loads;
+
+  std::vector<double> nonzero;
+  for (double l : loads)
+    if (l > 0.0) nonzero.push_back(l);
+
+  if (nonzero.empty()) {
+    // Degenerate: the ISP carries no traffic at all. Give unit capacity so
+    // ratios remain defined.
+    std::fill(caps.begin(), caps.end(), 1.0);
+    return caps;
+  }
+
+  double unused_value = 0.0;
+  switch (config.unused_rule) {
+    case UnusedLinkRule::kMedian:
+      unused_value = util::median(nonzero);
+      break;
+    case UnusedLinkRule::kMean:
+      unused_value = util::mean(nonzero);
+      break;
+    case UnusedLinkRule::kMax:
+      unused_value = *std::max_element(nonzero.begin(), nonzero.end());
+      break;
+  }
+
+  const double median_load = util::median(nonzero);
+  for (double& c : caps) {
+    if (c <= 0.0) c = unused_value;            // backup links
+    if (config.upgrade_below_median && c < median_load) c = median_load;
+    if (config.round_up_power_of_two && c > 0.0) {
+      c = std::pow(2.0, std::ceil(std::log2(c)));
+    }
+  }
+  return caps;
+}
+
+}  // namespace
+
+routing::LoadMap assign_capacities(const routing::LoadMap& baseline_loads,
+                                   const CapacityConfig& config) {
+  routing::LoadMap caps;
+  caps.per_side[0] = assign_side(baseline_loads.per_side[0], config);
+  caps.per_side[1] = assign_side(baseline_loads.per_side[1], config);
+  return caps;
+}
+
+}  // namespace nexit::capacity

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "routing/loads.hpp"
+
+namespace nexit::capacity {
+
+/// How capacity is assigned to links that carried no traffic before the
+/// failure (they may be used after it, so they cannot be dropped). The paper
+/// uses the median of the loaded links; mean and max are the alternates it
+/// also tried.
+enum class UnusedLinkRule { kMedian, kMean, kMax };
+
+/// §5.2 capacity model: capacities proportional to pre-failure load, because
+/// a well-designed network is roughly matched to its traffic.
+struct CapacityConfig {
+  UnusedLinkRule unused_rule = UnusedLinkRule::kMedian;
+  /// "Upgrade" links below the median to the median so results are not
+  /// dominated by links that carry little traffic (paper default: on).
+  bool upgrade_below_median = true;
+  /// Alternate model: round capacities up to the nearest power of two
+  /// ("discrete capacities").
+  bool round_up_power_of_two = false;
+};
+
+/// Derives per-link capacities from the pre-failure loads. The result has the
+/// same shape as the input LoadMap; every capacity is strictly positive
+/// provided the ISP carries any traffic at all.
+routing::LoadMap assign_capacities(const routing::LoadMap& baseline_loads,
+                                   const CapacityConfig& config);
+
+}  // namespace nexit::capacity

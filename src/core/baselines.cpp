@@ -1,0 +1,80 @@
+#include "core/baselines.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace nexit::core {
+
+routing::Assignment flow_pair_strategy(const routing::PairRouting& routing,
+                                       const std::vector<traffic::Flow>& flows,
+                                       const std::vector<std::size_t>& candidates,
+                                       const routing::Assignment& defaults,
+                                       FlowPairStrategy strategy,
+                                       util::Rng& rng) {
+  if (defaults.ix_of_flow.size() != flows.size())
+    throw std::invalid_argument("flow_pair_strategy: defaults size mismatch");
+  if (candidates.empty())
+    throw std::invalid_argument("flow_pair_strategy: no candidates");
+
+  routing::Assignment result = defaults;
+
+  // Pair up opposite-direction flows between the same PoPs:
+  // key = (pop in A, pop in B).
+  std::map<std::pair<std::int32_t, std::int32_t>, std::pair<int, int>> pairs;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const traffic::Flow& f = flows[i];
+    const bool a2b = f.direction == traffic::Direction::kAtoB;
+    const auto key = a2b ? std::make_pair(f.src.value(), f.dst.value())
+                         : std::make_pair(f.dst.value(), f.src.value());
+    auto& entry = pairs.try_emplace(key, -1, -1).first->second;
+    (a2b ? entry.first : entry.second) = static_cast<int>(i);
+  }
+
+  for (const auto& [key, entry] : pairs) {
+    (void)key;
+    const auto [fi_ab, fi_ba] = entry;
+    if (fi_ab < 0 || fi_ba < 0) continue;  // unpaired flow: keep default
+    const traffic::Flow& fab = flows[static_cast<std::size_t>(fi_ab)];
+    const traffic::Flow& fba = flows[static_cast<std::size_t>(fi_ba)];
+
+    // Cost for one ISP = distance both flows travel inside it.
+    auto side_cost = [&](std::size_t ix_ab, std::size_t ix_ba, int side) {
+      return routing.km_in_side(fab, ix_ab, side) +
+             routing.km_in_side(fba, ix_ba, side);
+    };
+
+    const std::size_t def_ab = defaults.ix_of_flow[static_cast<std::size_t>(fi_ab)];
+    const std::size_t def_ba = defaults.ix_of_flow[static_cast<std::size_t>(fi_ba)];
+    const double def_cost_a = side_cost(def_ab, def_ba, 0);
+    const double def_cost_b = side_cost(def_ab, def_ba, 1);
+
+    std::vector<std::pair<std::size_t, std::size_t>> surviving;
+    for (std::size_t ix_ab : candidates) {
+      for (std::size_t ix_ba : candidates) {
+        const double ca = side_cost(ix_ab, ix_ba, 0);
+        const double cb = side_cost(ix_ab, ix_ba, 1);
+        const bool worse_a = ca > def_cost_a + 1e-9;
+        const bool worse_b = cb > def_cost_b + 1e-9;
+        bool keep = false;
+        switch (strategy) {
+          case FlowPairStrategy::kFlowPareto:
+            keep = !(worse_a && worse_b);
+            break;
+          case FlowPairStrategy::kFlowBothBetter:
+            keep = !worse_a && !worse_b;
+            break;
+        }
+        if (keep) surviving.emplace_back(ix_ab, ix_ba);
+      }
+    }
+    // The default combination always survives either filter, so the set is
+    // never empty; pick uniformly at random as the paper does.
+    const auto& pick = surviving[rng.pick_index(surviving.size())];
+    result.ix_of_flow[static_cast<std::size_t>(fi_ab)] = pick.first;
+    result.ix_of_flow[static_cast<std::size_t>(fi_ba)] = pick.second;
+  }
+  return result;
+}
+
+}  // namespace nexit::core

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "routing/pair_routing.hpp"
+#include "util/rng.hpp"
+
+namespace nexit::core {
+
+/// The Fig. 5 strawman strategies: instead of negotiating across the whole
+/// flow set, consider each pair of opposite-direction flows between the same
+/// two PoPs and merely discard obviously bad interconnection combinations.
+enum class FlowPairStrategy {
+  /// Reject combinations worse than the default for BOTH ISPs
+  /// (keeps everything not Pareto-dominated ... by the default).
+  kFlowPareto,
+  /// Reject combinations worse than the default for EITHER ISP.
+  kFlowBothBetter,
+};
+
+/// Applies the strategy to a bidirectional flow set (one A->B and one B->A
+/// flow per PoP pair, as built by TrafficMatrix::build_bidirectional).
+/// For each opposite-direction pair, candidate combinations (ix for the A->B
+/// flow x ix for the B->A flow) that survive the filter are collected and
+/// one is picked uniformly at random (seeded); an ISP's cost for a
+/// combination is the distance the two flows travel inside its network.
+/// Flows without an opposite partner keep their default.
+routing::Assignment flow_pair_strategy(const routing::PairRouting& routing,
+                                       const std::vector<traffic::Flow>& flows,
+                                       const std::vector<std::size_t>& candidates,
+                                       const routing::Assignment& defaults,
+                                       FlowPairStrategy strategy,
+                                       util::Rng& rng);
+
+}  // namespace nexit::core

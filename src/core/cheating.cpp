@@ -1,0 +1,71 @@
+#include "core/cheating.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nexit::core {
+
+CheatingOracle::CheatingOracle(PreferenceOracle& inner, int range)
+    : inner_(&inner), range_(range) {
+  if (range < 1) throw std::invalid_argument("CheatingOracle: range < 1");
+}
+
+Evaluation CheatingOracle::evaluate(const OracleContext& ctx) {
+  return inner_->evaluate(ctx);
+}
+
+bool CheatingOracle::wants_reassignment() const {
+  return inner_->wants_reassignment();
+}
+
+std::vector<PrefClass> CheatingOracle::transform_flow(
+    const std::vector<PrefClass>& own, const std::vector<PrefClass>& remote,
+    int range) {
+  if (own.size() != remote.size())
+    throw std::invalid_argument("CheatingOracle: size mismatch");
+  std::vector<PrefClass> disclosed = own;
+  if (own.empty()) return disclosed;
+
+  // The cheater's favourite alternative (ties toward the lowest index).
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < own.size(); ++c)
+    if (own[c] > own[best]) best = c;
+
+  // Combined sum the selection rule would currently maximise.
+  int max_sum = disclosed[0] + remote[0];
+  for (std::size_t c = 1; c < own.size(); ++c)
+    max_sum = std::max(max_sum, disclosed[c] + remote[c]);
+
+  // Inflate the favourite just enough to reach the maximum sum.
+  const int needed = max_sum - remote[best];
+  disclosed[best] = std::clamp(std::max(disclosed[best], needed), -range, range);
+
+  // If the cap prevented the favourite from reaching the top, deflate the
+  // competitors so the favourite's sum still wins.
+  const int best_sum = disclosed[best] + remote[best];
+  for (std::size_t c = 0; c < own.size(); ++c) {
+    if (c == best) continue;
+    const int cap = best_sum - remote[c];  // keep sum(c) <= sum(best)
+    disclosed[c] = std::clamp(std::min(disclosed[c], cap), -range, range);
+  }
+  return disclosed;
+}
+
+PreferenceList CheatingOracle::disclose(const OracleContext& ctx,
+                                        const PreferenceList& own_truth,
+                                        const PreferenceList& remote_truth) {
+  (void)ctx;
+  if (own_truth.flows.size() != remote_truth.flows.size())
+    throw std::invalid_argument("CheatingOracle: list size mismatch");
+  PreferenceList lie;
+  lie.flows.reserve(own_truth.flows.size());
+  for (std::size_t i = 0; i < own_truth.flows.size(); ++i) {
+    lie.flows.push_back(FlowPreferences{
+        own_truth.flows[i].flow,
+        transform_flow(own_truth.flows[i].pref_of_candidate,
+                       remote_truth.flows[i].pref_of_candidate, range_)});
+  }
+  return lie;
+}
+
+}  // namespace nexit::core

@@ -1,0 +1,262 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nexit::core {
+
+std::string to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kExhausted: return "exhausted";
+    case StopReason::kEarlyStopA: return "early-stop-a";
+    case StopReason::kEarlyStopB: return "early-stop-b";
+    case StopReason::kGainWouldGoNegative: return "gain-would-go-negative";
+    case StopReason::kNoProposal: return "no-proposal";
+  }
+  return "?";
+}
+
+NegotiationEngine::NegotiationEngine(const NegotiationProblem& problem,
+                                     PreferenceOracle& isp_a,
+                                     PreferenceOracle& isp_b,
+                                     NegotiationConfig config)
+    : problem_(problem), oracles_{&isp_a, &isp_b}, config_(config),
+      rng_(config.seed) {
+  problem_.validate();
+  tentative_ = problem_.default_assignment;
+  remaining_.assign(problem_.negotiable.size(), 1);
+  banned_.assign(problem_.negotiable.size(),
+                 std::vector<char>(problem_.candidates.size(), 0));
+  default_ci_.reserve(problem_.negotiable.size());
+  for (std::size_t pos = 0; pos < problem_.negotiable.size(); ++pos)
+    default_ci_.push_back(problem_.default_candidate(pos));
+}
+
+void NegotiationEngine::refresh_preferences() {
+  const OracleContext ctx{&problem_, &tentative_, &remaining_};
+  truth_[0] = oracles_[0]->evaluate(ctx);
+  truth_[1] = oracles_[1]->evaluate(ctx);
+  disclosed_[0] =
+      oracles_[0]->disclose(ctx, truth_[0].classes, truth_[1].classes);
+  disclosed_[1] =
+      oracles_[1]->disclose(ctx, truth_[1].classes, truth_[0].classes);
+  for (const PreferenceList* list : {&truth_[0].classes, &truth_[1].classes,
+                                     &disclosed_[0], &disclosed_[1]}) {
+    if (list->flows.size() != problem_.negotiable.size())
+      throw std::logic_error("oracle returned wrong number of flows");
+    for (const auto& fp : list->flows)
+      if (fp.pref_of_candidate.size() != problem_.candidates.size())
+        throw std::logic_error("oracle returned wrong number of candidates");
+  }
+  for (const Evaluation* e : {&truth_[0], &truth_[1]}) {
+    if (e->true_value.size() != problem_.negotiable.size())
+      throw std::logic_error("oracle returned wrong true_value shape");
+    for (const auto& row : e->true_value)
+      if (row.size() != problem_.candidates.size())
+        throw std::logic_error("oracle returned wrong true_value shape");
+  }
+}
+
+int NegotiationEngine::pick_turn(std::size_t round) const {
+  switch (config_.turn) {
+    case TurnPolicy::kAlternate:
+      return static_cast<int>(round % 2);
+    case TurnPolicy::kLowerGain:
+      if (disclosed_gain_[0] == disclosed_gain_[1])
+        return static_cast<int>(round % 2);
+      return disclosed_gain_[0] < disclosed_gain_[1] ? 0 : 1;
+    case TurnPolicy::kCoinToss:
+      return rng_.next_bool() ? 0 : 1;
+  }
+  throw std::logic_error("pick_turn: bad policy");
+}
+
+std::vector<std::size_t> NegotiationEngine::compute_rollback(int side) const {
+  // Greedy: while below default, roll back the still-standing concession
+  // that hurts `side` most (ties toward the lowest flow position). Identical
+  // logic runs in NegotiationAgent, so wire sessions settle the same way.
+  std::vector<std::size_t> picked;
+  double cum = true_gain_[side];
+  std::vector<char> taken(accepted_moves_.size(), 0);
+  while (cum < -1e-12) {
+    std::ptrdiff_t worst = -1;
+    for (std::size_t i = 0; i < accepted_moves_.size(); ++i) {
+      const AcceptedMove& m = accepted_moves_[i];
+      if (m.rolled_back || taken[i] || m.value[side] >= 0.0) continue;
+      if (worst < 0 ||
+          m.value[side] <
+              accepted_moves_[static_cast<std::size_t>(worst)].value[side])
+        worst = static_cast<std::ptrdiff_t>(i);
+    }
+    if (worst < 0) break;  // nothing left to roll back
+    taken[static_cast<std::size_t>(worst)] = 1;
+    cum -= accepted_moves_[static_cast<std::size_t>(worst)].value[side];
+    picked.push_back(static_cast<std::size_t>(worst));
+  }
+  return picked;
+}
+
+StrategyView NegotiationEngine::view_of(int side) const {
+  StrategyView v;
+  v.remaining = &remaining_;
+  v.banned = &banned_;
+  v.default_ci = &default_ci_;
+  v.my_disclosed = &disclosed_[side];
+  v.remote_disclosed = &disclosed_[1 - side];
+  v.my_true_value = &truth_[side].true_value;
+  return v;
+}
+
+NegotiationOutcome NegotiationEngine::run() {
+  NegotiationOutcome outcome;
+  refresh_preferences();
+
+  const double total_volume = problem_.negotiable_volume();
+  const bool reassign_enabled =
+      config_.reassign_traffic_fraction > 0.0 &&
+      (oracles_[0]->wants_reassignment() || oracles_[1]->wants_reassignment());
+  const double reassign_quantum =
+      config_.reassign_traffic_fraction * total_volume;
+  double volume_since_reassign = 0.0;
+
+  std::size_t remaining_count = problem_.negotiable.size();
+  std::size_t round = 0;
+
+  while (remaining_count > 0) {
+    const int proposer = pick_turn(round);
+
+    if (config_.termination == TerminationPolicy::kEarly) {
+      // The ISP holding the turn stops once it perceives no additional gain
+      // in continuing AND continuing would actually hurt it; a flat future
+      // is harmless (Fig. 3's ISP-A proposes a zero-gain alternative). The
+      // decision sits with the turn holder: mid-trade compromises already
+      // accepted are honoured until one's own next turn, which is what lets
+      // trades across flows complete and both ISPs end ahead.
+      const Projection f = project_future(view_of(proposer));
+      if (f.peak <= 0 && f.end < 0) {
+        outcome.stop_reason =
+            proposer == 0 ? StopReason::kEarlyStopA : StopReason::kEarlyStopB;
+        break;
+      }
+    }
+    ProposalChoice sel{};
+    util::Rng* tie_rng =
+        config_.tie_break == TieBreak::kRandom ? &rng_ : nullptr;
+    if (!select_proposal(view_of(proposer), config_.proposal, tie_rng, sel)) {
+      outcome.stop_reason = StopReason::kNoProposal;
+      break;
+    }
+
+    const double pa = truth_[0].true_value[sel.pos][sel.ci];
+    const double pb = truth_[1].true_value[sel.pos][sel.ci];
+    if (config_.termination == TerminationPolicy::kFull) {
+      // Continue only while both cumulative gains stay non-negative.
+      if (true_gain_[0] + pa < 0 || true_gain_[1] + pb < 0) {
+        outcome.stop_reason = StopReason::kGainWouldGoNegative;
+        break;
+      }
+    }
+
+    const int responder = 1 - proposer;
+    const double responder_pref =
+        truth_[responder].true_value[sel.pos][sel.ci];
+    bool accepted = true;
+    switch (config_.acceptance) {
+      case AcceptancePolicy::kAlwaysAccept:
+        break;
+      case AcceptancePolicy::kVetoOwnLoss:
+        accepted = responder_pref >= 0;
+        break;
+      case AcceptancePolicy::kProtective: {
+        if (true_gain_[responder] + responder_pref < 0) {
+          // Would dip below default: accept only if the projected future
+          // (without this flow) can recover the deficit even under
+          // pessimistic tie resolution.
+          remaining_[sel.pos] = 0;
+          const Projection rest = project_future(view_of(responder));
+          remaining_[sel.pos] = 1;
+          accepted = true_gain_[responder] + responder_pref + rest.peak >= 0;
+        }
+        break;
+      }
+    }
+
+    RoundTrace tr;
+    tr.round = round;
+    tr.proposer = proposer;
+    tr.flow = problem_.negotiable_flow(sel.pos).id;
+    tr.interconnection = problem_.candidates[sel.ci];
+    tr.pref_a = disclosed_[0].flows[sel.pos].pref_of_candidate[sel.ci];
+    tr.pref_b = disclosed_[1].flows[sel.pos].pref_of_candidate[sel.ci];
+    tr.accepted = accepted;
+
+    if (!accepted) {
+      banned_[sel.pos][sel.ci] = 1;
+    } else {
+      const std::size_t ix = problem_.candidates[sel.ci];
+      for (std::size_t flow_index : problem_.members_of(sel.pos))
+        tentative_.ix_of_flow[flow_index] = ix;
+      if (ix != problem_.default_ix(sel.pos))
+        accepted_moves_.push_back(AcceptedMove{sel.pos, sel.ci, {pa, pb}});
+      true_gain_[0] += pa;
+      true_gain_[1] += pb;
+      disclosed_gain_[0] += disclosed_[0].flows[sel.pos].pref_of_candidate[sel.ci];
+      disclosed_gain_[1] += disclosed_[1].flows[sel.pos].pref_of_candidate[sel.ci];
+      remaining_[sel.pos] = 0;
+      --remaining_count;
+      ++outcome.flows_negotiated;
+      if (ix != problem_.default_ix(sel.pos)) ++outcome.flows_moved;
+      for (std::size_t flow_index : problem_.members_of(sel.pos))
+        volume_since_reassign += (*problem_.flows)[flow_index].size;
+
+      if (reassign_enabled && remaining_count > 0 &&
+          volume_since_reassign >= reassign_quantum) {
+        refresh_preferences();
+        volume_since_reassign = 0.0;
+        ++outcome.reassignments;
+        tr.reassigned_after = true;
+      }
+    }
+
+    if (config_.record_trace) outcome.trace.push_back(tr);
+    ++round;
+  }
+
+  if (config_.settlement_rollback) {
+    // §6 settlement: sides alternate rolling back their losing concessions,
+    // starting with the side that stopped the negotiation. The same loop
+    // runs on both ends of the wire protocol (ROLLBACK messages).
+    int who = 0;
+    switch (outcome.stop_reason) {
+      case StopReason::kEarlyStopA: who = 0; break;
+      case StopReason::kEarlyStopB: who = 1; break;
+      default: who = static_cast<int>(round % 2); break;
+    }
+    bool previous_empty = false;
+    for (;;) {
+      const std::vector<std::size_t> moves = compute_rollback(who);
+      for (std::size_t mi : moves) {
+        AcceptedMove& m = accepted_moves_[mi];
+        for (std::size_t flow_index : problem_.members_of(m.pos))
+          tentative_.ix_of_flow[flow_index] = problem_.default_ix(m.pos);
+        true_gain_[0] -= m.value[0];
+        true_gain_[1] -= m.value[1];
+        m.rolled_back = true;
+        ++outcome.flows_rolled_back;
+      }
+      if (moves.empty() && previous_empty) break;
+      previous_empty = moves.empty();
+      who = 1 - who;
+    }
+  }
+
+  outcome.assignment = tentative_;
+  outcome.true_gain_a = true_gain_[0];
+  outcome.true_gain_b = true_gain_[1];
+  outcome.disclosed_gain_a = disclosed_gain_[0];
+  outcome.disclosed_gain_b = disclosed_gain_[1];
+  outcome.rounds = round;
+  return outcome;
+}
+
+}  // namespace nexit::core

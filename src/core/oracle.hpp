@@ -1,0 +1,72 @@
+#pragma once
+
+#include "core/preference.hpp"
+#include "core/problem.hpp"
+
+namespace nexit::core {
+
+/// Snapshot the oracle sees when (re)computing preferences: the problem, the
+/// current tentative assignment (already-negotiated flows sit on their agreed
+/// interconnection, everything else on its default), and which negotiable
+/// flows are still open. Load-dependent oracles must treat open flows as
+/// absent — the paper's preference classes "are assigned independently of
+/// each other" (Fig. 3: ISP-B is initially indifferent), and reassignment
+/// then "takes into account the expected state of the network, assuming that
+/// the first accepted choice was implemented".
+struct OracleContext {
+  const NegotiationProblem* problem = nullptr;
+  const routing::Assignment* tentative = nullptr;
+  /// Aligned with problem->negotiable; nonzero = still un-negotiated.
+  const std::vector<char>* remaining = nullptr;
+};
+
+/// One ISP's internal evaluation: the exact metric deltas (its private,
+/// full-precision view — e.g. km saved, or load-ratio reduction, versus the
+/// default alternative) plus the opaque classes derived from them. Joint
+/// decisions see only classes; the ISP's own decisions (stop voting, vetoes,
+/// gain accounting) use the exact values — quantisation exists for
+/// *disclosure*, an ISP never forgets its own metric.
+struct Evaluation {
+  /// true_value[pos][ci]: metric improvement versus the default alternative
+  /// (positive = better for this ISP), full precision.
+  std::vector<std::vector<double>> true_value;
+  /// The corresponding opaque preference classes.
+  PreferenceList classes;
+};
+
+/// ISP-internal evaluation of routing choices (paper §4 step 1). Each ISP
+/// maps flow alternatives to opaque preference classes based on its private
+/// optimisation criterion; the engine never sees the underlying metric.
+///
+/// `evaluate` returns the ISP's *true* valuation. `disclose` produces what
+/// the ISP actually advertises — identical to `evaluate().classes` for
+/// honest ISPs (the default); a cheating ISP overrides it (see
+/// cheating.hpp). The engine uses disclosed classes for joint decisions and
+/// exact true values for each ISP's private decisions, which is exactly the
+/// information structure of §5.4.
+class PreferenceOracle {
+ public:
+  virtual ~PreferenceOracle() = default;
+
+  /// True valuation for every negotiable flow, aligned with
+  /// problem->negotiable (rows) and problem->candidates (columns).
+  virtual Evaluation evaluate(const OracleContext& ctx) = 0;
+
+  /// What gets advertised to the other ISP. `own_truth` is this oracle's
+  /// evaluate() result; `remote_truth` is the other ISP's true preference
+  /// list — §5.4 assumes the cheater knows it perfectly (for a truthful
+  /// remote it equals what the remote discloses). Honest oracles ignore it.
+  virtual PreferenceList disclose(const OracleContext& ctx,
+                                  const PreferenceList& own_truth,
+                                  const PreferenceList& remote_truth) {
+    (void)ctx;
+    (void)remote_truth;
+    return own_truth;
+  }
+
+  /// True if preferences depend on the tentative assignment and must be
+  /// recomputed as flows are negotiated (bandwidth-style oracles).
+  [[nodiscard]] virtual bool wants_reassignment() const { return false; }
+};
+
+}  // namespace nexit::core

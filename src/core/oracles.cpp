@@ -1,0 +1,203 @@
+#include "core/oracles.hpp"
+
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace nexit::core {
+
+namespace {
+
+void check_ctx(const OracleContext& ctx) {
+  if (ctx.problem == nullptr || ctx.tentative == nullptr)
+    throw std::invalid_argument("oracle: null context");
+}
+
+/// Path of `f` inside ISP `side` when routed via interconnection `ix`
+/// (upstream or downstream path depending on the flow's direction).
+std::vector<graph::EdgeIndex> own_path(const routing::PairRouting& routing,
+                                       const traffic::Flow& f, std::size_t ix,
+                                       int side) {
+  if (side == traffic::upstream_side(f.direction))
+    return routing.upstream_path_edges(f, ix);
+  return routing.downstream_path_edges(f, ix);
+}
+
+}  // namespace
+
+DistanceOracle::DistanceOracle(int side, PreferenceConfig config)
+    : side_(side), config_(config) {
+  if (side != 0 && side != 1)
+    throw std::invalid_argument("DistanceOracle: side must be 0 or 1");
+}
+
+Evaluation DistanceOracle::evaluate(const OracleContext& ctx) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+
+  // Delta = traffic-km saved inside my network versus the default
+  // alternative (size-weighted: carrying a bigger flow one km costs more).
+  // Destination-based groups move together, so their members' deltas sum.
+  std::vector<std::vector<double>> deltas(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    deltas[pos].assign(p.candidates.size(), 0.0);
+    for (std::size_t m : p.members_of(pos)) {
+      const traffic::Flow& f = (*p.flows)[m];
+      const double default_km =
+          p.routing->km_in_side(f, p.default_ix(pos), side_);
+      for (std::size_t ci = 0; ci < p.candidates.size(); ++ci)
+        deltas[pos][ci] += f.size * (default_km - p.routing->km_in_side(
+                                                      f, p.candidates[ci], side_));
+    }
+  }
+
+  const double scale = quantization_scale(deltas, config_);
+  Evaluation eval;
+  eval.classes.flows.reserve(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    eval.classes.flows.push_back(FlowPreferences{
+        p.negotiable_flow(pos).id, quantize_deltas(deltas[pos], config_, scale)});
+  }
+  eval.true_value = std::move(deltas);
+  return eval;
+}
+
+BandwidthOracle::BandwidthOracle(int side, PreferenceConfig config,
+                                 const routing::LoadMap& capacities,
+                                 OpenFlowModel open_model)
+    : side_(side), config_(config), capacities_(&capacities),
+      open_model_(open_model) {
+  if (side != 0 && side != 1)
+    throw std::invalid_argument("BandwidthOracle: side must be 0 or 1");
+}
+
+Evaluation BandwidthOracle::evaluate(const OracleContext& ctx) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+  const routing::PairRouting& routing = *p.routing;
+  const auto& caps = capacities_->per_side[static_cast<std::size_t>(side_)];
+
+  // Loads on my links. kAtTentative (expected state): every flow counts at
+  // its tentative position — the default until negotiated — so a
+  // post-failure pile-up is visible immediately. kExcluded (Fig. 3
+  // independence): open flows contribute nothing; only settled flows and the
+  // non-negotiable background count.
+  std::vector<char> open(p.flows->size(), 0);
+  if (ctx.remaining != nullptr) {
+    for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos)
+      if ((*ctx.remaining)[pos]) open[p.negotiable[pos]] = 1;
+  }
+  routing::LoadMap loads = routing::LoadMap::zeros(routing.pair());
+  for (std::size_t i = 0; i < p.flows->size(); ++i) {
+    if (!open[i] || open_model_ == OpenFlowModel::kAtTentative)
+      routing::add_flow_load(loads, routing, (*p.flows)[i],
+                             ctx.tentative->ix_of_flow[i], 1.0);
+  }
+  const auto& my_loads = loads.per_side[static_cast<std::size_t>(side_)];
+
+  std::vector<std::vector<double>> deltas(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    deltas[pos].assign(p.candidates.size(), 0.0);
+    // All group members move together; judge each against a background that
+    // excludes the whole group (when counted), then sum the deltas.
+    std::vector<double> without = my_loads;
+    for (std::size_t m : p.members_of(pos)) {
+      if (!open[m] || open_model_ == OpenFlowModel::kAtTentative) {
+        const traffic::Flow& f = (*p.flows)[m];
+        for (graph::EdgeIndex e :
+             own_path(routing, f, ctx.tentative->ix_of_flow[m], side_))
+          without[static_cast<std::size_t>(e)] -= f.size;
+      }
+    }
+    for (std::size_t m : p.members_of(pos)) {
+      const traffic::Flow& f = (*p.flows)[m];
+      const double default_mel = metrics::path_mel(
+          own_path(routing, f, p.default_ix(pos), side_), without, caps, f.size);
+      for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+        const double alt_mel = metrics::path_mel(
+            own_path(routing, f, p.candidates[ci], side_), without, caps, f.size);
+        deltas[pos][ci] += default_mel - alt_mel;
+      }
+    }
+  }
+
+  const double scale = quantization_scale(deltas, config_);
+  Evaluation eval;
+  eval.classes.flows.reserve(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    eval.classes.flows.push_back(FlowPreferences{
+        p.negotiable_flow(pos).id, quantize_deltas(deltas[pos], config_, scale)});
+  }
+  eval.true_value = std::move(deltas);
+  return eval;
+}
+
+PiecewiseCostOracle::PiecewiseCostOracle(int side, PreferenceConfig config,
+                                         const routing::LoadMap& capacities)
+    : side_(side), config_(config), capacities_(&capacities) {
+  if (side != 0 && side != 1)
+    throw std::invalid_argument("PiecewiseCostOracle: side must be 0 or 1");
+}
+
+Evaluation PiecewiseCostOracle::evaluate(const OracleContext& ctx) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+  const routing::PairRouting& routing = *p.routing;
+  const auto& caps = capacities_->per_side[static_cast<std::size_t>(side_)];
+
+  // Expected-state loads (every flow at its tentative position).
+  routing::LoadMap loads = routing::LoadMap::zeros(routing.pair());
+  for (std::size_t i = 0; i < p.flows->size(); ++i)
+    routing::add_flow_load(loads, routing, (*p.flows)[i],
+                           ctx.tentative->ix_of_flow[i], 1.0);
+  const auto& my_loads = loads.per_side[static_cast<std::size_t>(side_)];
+
+  // Cost of placing flow f on a path, against a background without f: only
+  // the touched links' phi values change, so evaluate the difference
+  // link-by-link.
+  auto placement_cost = [&](const std::vector<graph::EdgeIndex>& path,
+                            const std::vector<double>& without,
+                            double size) {
+    double cost = 0.0;
+    for (graph::EdgeIndex e : path) {
+      const auto idx = static_cast<std::size_t>(e);
+      cost += metrics::piecewise_linear_cost({without[idx] + size}, {caps[idx]}) -
+              metrics::piecewise_linear_cost({without[idx]}, {caps[idx]});
+    }
+    return cost;
+  };
+
+  std::vector<std::vector<double>> deltas(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    deltas[pos].assign(p.candidates.size(), 0.0);
+    std::vector<double> without = my_loads;
+    for (std::size_t m : p.members_of(pos)) {
+      const traffic::Flow& f = (*p.flows)[m];
+      for (graph::EdgeIndex e :
+           own_path(routing, f, ctx.tentative->ix_of_flow[m], side_))
+        without[static_cast<std::size_t>(e)] -= f.size;
+    }
+    for (std::size_t m : p.members_of(pos)) {
+      const traffic::Flow& f = (*p.flows)[m];
+      const double default_cost = placement_cost(
+          own_path(routing, f, p.default_ix(pos), side_), without, f.size);
+      for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+        const double alt_cost = placement_cost(
+            own_path(routing, f, p.candidates[ci], side_), without, f.size);
+        deltas[pos][ci] += default_cost - alt_cost;
+      }
+    }
+  }
+
+  const double scale = quantization_scale(deltas, config_);
+  Evaluation eval;
+  eval.classes.flows.reserve(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    eval.classes.flows.push_back(FlowPreferences{
+        p.negotiable_flow(pos).id, quantize_deltas(deltas[pos], config_, scale)});
+  }
+  eval.true_value = std::move(deltas);
+  return eval;
+}
+
+}  // namespace nexit::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include "core/oracle.hpp"
+#include "routing/loads.hpp"
+
+namespace nexit::core {
+
+/// §5.1 oracle: the ISP's metric is the geographic distance each flow
+/// travels inside its own network. Preferences for different flows are
+/// independent, so no reassignment is needed. Class 0 is the default
+/// alternative; the largest distance swing in the list maps to ±P.
+class DistanceOracle : public PreferenceOracle {
+ public:
+  /// `side`: 0 if this oracle is ISP A, 1 if ISP B.
+  DistanceOracle(int side, PreferenceConfig config);
+
+  Evaluation evaluate(const OracleContext& ctx) override;
+  [[nodiscard]] bool wants_reassignment() const override { return false; }
+
+ private:
+  int side_;
+  PreferenceConfig config_;
+};
+
+/// How a load-dependent oracle accounts for flows that are still open
+/// (un-negotiated). The paper is ambiguous: the Fig. 3 worked example
+/// assigns preferences "independently of each other" (open flows invisible,
+/// which is why ISP-B starts indifferent), while the §5.2 results require
+/// the post-failure pile-up of affected flows to be visible up front.
+enum class OpenFlowModel {
+  /// Expected state: open flows counted at their tentative (default until
+  /// negotiated) interconnection, the flow being valued excluded. Default;
+  /// used for the §5.2/§5.3 experiments.
+  kAtTentative,
+  /// Fig. 3 independence: open flows contribute nothing; only settled flows
+  /// and the non-negotiable background count.
+  kExcluded,
+};
+
+/// §5.2 oracle: the ISP's metric is the maximum increase in link load along
+/// the flow's path inside its own network — max over the path's links of
+/// (load_without_flow + flow_size) / capacity. Load-dependent, so the
+/// engine re-invokes evaluate() after each reassignment quantum of traffic.
+class BandwidthOracle : public PreferenceOracle {
+ public:
+  /// `capacities` must outlive the oracle (same shape as the pair's links).
+  BandwidthOracle(int side, PreferenceConfig config,
+                  const routing::LoadMap& capacities,
+                  OpenFlowModel open_model = OpenFlowModel::kAtTentative);
+
+  Evaluation evaluate(const OracleContext& ctx) override;
+  [[nodiscard]] bool wants_reassignment() const override { return true; }
+
+ private:
+  int side_;
+  PreferenceConfig config_;
+  const routing::LoadMap* capacities_;
+  OpenFlowModel open_model_;
+};
+
+/// The paper's alternate load-dependent metric (§5.2 "alternate models"): a
+/// piecewise-linear link cost in the style of the OSPF-weight-optimisation
+/// LP [10 in the paper]. The ISP's value of an alternative is the reduction
+/// in the sum of Fortz-Thorup phi(load/capacity) over its own links.
+/// Penalises congestion progressively instead of only tracking the maximum.
+class PiecewiseCostOracle : public PreferenceOracle {
+ public:
+  PiecewiseCostOracle(int side, PreferenceConfig config,
+                      const routing::LoadMap& capacities);
+
+  Evaluation evaluate(const OracleContext& ctx) override;
+  [[nodiscard]] bool wants_reassignment() const override { return true; }
+
+ private:
+  int side_;
+  PreferenceConfig config_;
+  const routing::LoadMap* capacities_;
+};
+
+}  // namespace nexit::core

@@ -1,0 +1,132 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace nexit::core {
+
+std::size_t NegotiationProblem::default_candidate(std::size_t pos) const {
+  const std::size_t ix = default_ix(pos);
+  const auto it = std::find(candidates.begin(), candidates.end(), ix);
+  if (it == candidates.end())
+    throw std::logic_error("NegotiationProblem: default not in candidates");
+  return static_cast<std::size_t>(it - candidates.begin());
+}
+
+double NegotiationProblem::negotiable_volume() const {
+  double v = 0.0;
+  for (std::size_t pos = 0; pos < negotiable.size(); ++pos)
+    for (std::size_t m : members_of(pos)) v += (*flows)[m].size;
+  return v;
+}
+
+void NegotiationProblem::validate() const {
+  if (!group_members.empty() && group_members.size() != negotiable.size())
+    throw std::invalid_argument("NegotiationProblem: group_members size");
+  if (routing == nullptr || flows == nullptr)
+    throw std::invalid_argument("NegotiationProblem: null routing/flows");
+  if (default_assignment.ix_of_flow.size() != flows->size())
+    throw std::invalid_argument("NegotiationProblem: default assignment size");
+  if (candidates.empty())
+    throw std::invalid_argument("NegotiationProblem: no candidates");
+  const std::size_t n_ix = routing->pair().interconnection_count();
+  for (std::size_t c : candidates)
+    if (c >= n_ix)
+      throw std::invalid_argument("NegotiationProblem: candidate out of range");
+  for (std::size_t i : negotiable) {
+    if (i >= flows->size())
+      throw std::invalid_argument("NegotiationProblem: negotiable out of range");
+    if (std::find(candidates.begin(), candidates.end(),
+                  default_assignment.ix_of_flow[i]) == candidates.end())
+      throw std::invalid_argument(
+          "NegotiationProblem: negotiable flow's default not in candidates");
+  }
+}
+
+NegotiationProblem make_distance_problem(const routing::PairRouting& routing,
+                                         const std::vector<traffic::Flow>& flows,
+                                         std::vector<std::size_t> candidates) {
+  NegotiationProblem p;
+  p.routing = &routing;
+  p.flows = &flows;
+  p.candidates = std::move(candidates);
+  p.default_assignment = routing::assign_early_exit(routing, flows, p.candidates);
+  p.negotiable.resize(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) p.negotiable[i] = i;
+  p.validate();
+  return p;
+}
+
+NegotiationProblem make_destination_problem(
+    const routing::PairRouting& routing,
+    const std::vector<traffic::Flow>& flows,
+    std::vector<std::size_t> candidates) {
+  NegotiationProblem p;
+  p.routing = &routing;
+  p.flows = &flows;
+  p.candidates = std::move(candidates);
+  p.default_assignment.ix_of_flow.assign(flows.size(), 0);
+
+  // Group by (direction, destination PoP).
+  std::map<std::pair<int, std::int32_t>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    groups[{static_cast<int>(flows[i].direction), flows[i].dst.value()}]
+        .push_back(i);
+
+  for (auto& [key, members] : groups) {
+    (void)key;
+    // Dominant ingress: the largest member's early exit anchors the default.
+    std::size_t largest = members.front();
+    for (std::size_t m : members)
+      if (flows[m].size > flows[largest].size) largest = m;
+    const std::size_t default_ix =
+        routing.early_exit(flows[largest], p.candidates);
+    for (std::size_t m : members) p.default_assignment.ix_of_flow[m] = default_ix;
+    p.negotiable.push_back(members.front());
+    p.group_members.push_back(members);
+  }
+  p.validate();
+  return p;
+}
+
+NegotiationProblem make_failure_problem(const routing::PairRouting& routing,
+                                        const std::vector<traffic::Flow>& flows,
+                                        std::size_t failed_ix) {
+  const std::size_t n_ix = routing.pair().interconnection_count();
+  if (failed_ix >= n_ix)
+    throw std::invalid_argument("make_failure_problem: failed_ix out of range");
+
+  std::vector<std::size_t> all_ix;
+  std::vector<std::size_t> surviving;
+  for (std::size_t i = 0; i < n_ix; ++i) {
+    all_ix.push_back(i);
+    if (i != failed_ix) surviving.push_back(i);
+  }
+  if (surviving.size() < 2)
+    throw std::invalid_argument(
+        "make_failure_problem: need >= 2 surviving interconnections");
+
+  NegotiationProblem p;
+  p.routing = &routing;
+  p.flows = &flows;
+  p.candidates = std::move(surviving);
+
+  // Pre-failure routing: early-exit over all interconnections. Flows that
+  // used the failed one must move; their post-failure default is early-exit
+  // over the survivors.
+  const routing::Assignment before =
+      routing::assign_early_exit(routing, flows, all_ix);
+  p.default_assignment = before;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (before.ix_of_flow[i] == failed_ix) {
+      p.negotiable.push_back(i);
+      p.default_assignment.ix_of_flow[i] =
+          routing.early_exit(flows[i], p.candidates);
+    }
+  }
+  p.validate();
+  return p;
+}
+
+}  // namespace nexit::core

@@ -1,0 +1,176 @@
+#include "geo/city_db.hpp"
+
+#include <stdexcept>
+
+namespace nexit::geo {
+
+namespace {
+
+std::vector<City> builtin_cities() {
+  // name, {lat, lon}, metro population in millions (approximate, early-2000s
+  // era to match the paper's data vintage).
+  return {
+      // --- United States ---
+      {"New York", {40.71, -74.01}, 18.8},
+      {"Los Angeles", {34.05, -118.24}, 12.4},
+      {"Chicago", {41.88, -87.63}, 9.1},
+      {"Washington DC", {38.91, -77.04}, 5.3},
+      {"San Francisco", {37.77, -122.42}, 4.1},
+      {"Philadelphia", {39.95, -75.17}, 5.7},
+      {"Boston", {42.36, -71.06}, 4.4},
+      {"Detroit", {42.33, -83.05}, 4.4},
+      {"Dallas", {32.78, -96.80}, 5.2},
+      {"Houston", {29.76, -95.37}, 4.7},
+      {"Atlanta", {33.75, -84.39}, 4.2},
+      {"Miami", {25.76, -80.19}, 5.0},
+      {"Seattle", {47.61, -122.33}, 3.0},
+      {"Phoenix", {33.45, -112.07}, 3.3},
+      {"Minneapolis", {44.98, -93.27}, 3.0},
+      {"Cleveland", {41.50, -81.69}, 2.9},
+      {"San Diego", {32.72, -117.16}, 2.8},
+      {"St Louis", {38.63, -90.20}, 2.6},
+      {"Denver", {39.74, -104.99}, 2.2},
+      {"Tampa", {27.95, -82.46}, 2.4},
+      {"Pittsburgh", {40.44, -80.00}, 2.4},
+      {"Portland", {45.52, -122.68}, 1.9},
+      {"Cincinnati", {39.10, -84.51}, 2.0},
+      {"Sacramento", {38.58, -121.49}, 1.8},
+      {"Kansas City", {39.10, -94.58}, 1.8},
+      {"Milwaukee", {43.04, -87.91}, 1.7},
+      {"Orlando", {28.54, -81.38}, 1.6},
+      {"Indianapolis", {39.77, -86.16}, 1.6},
+      {"San Antonio", {29.42, -98.49}, 1.7},
+      {"Columbus", {39.96, -83.00}, 1.5},
+      {"Charlotte", {35.23, -80.84}, 1.5},
+      {"New Orleans", {29.95, -90.07}, 1.3},
+      {"Salt Lake City", {40.76, -111.89}, 1.3},
+      {"Las Vegas", {36.17, -115.14}, 1.6},
+      {"Nashville", {36.16, -86.78}, 1.3},
+      {"Austin", {30.27, -97.74}, 1.3},
+      {"Memphis", {35.15, -90.05}, 1.2},
+      {"Raleigh", {35.78, -78.64}, 1.2},
+      {"Buffalo", {42.89, -78.88}, 1.2},
+      {"Jacksonville", {30.33, -81.66}, 1.1},
+      {"Hartford", {41.76, -72.67}, 1.1},
+      {"Oklahoma City", {35.47, -97.52}, 1.1},
+      {"Richmond", {37.54, -77.44}, 1.0},
+      {"Albuquerque", {35.08, -106.65}, 0.8},
+      {"Tucson", {32.22, -110.97}, 0.8},
+      {"Honolulu", {21.31, -157.86}, 0.9},
+      {"Omaha", {41.26, -95.93}, 0.8},
+      {"El Paso", {31.76, -106.49}, 0.7},
+      {"Boise", {43.62, -116.20}, 0.5},
+      {"Spokane", {47.66, -117.43}, 0.4},
+      {"Anchorage", {61.22, -149.90}, 0.3},
+      {"Billings", {45.78, -108.50}, 0.15},
+      {"Fargo", {46.88, -96.79}, 0.17},
+      {"Reno", {39.53, -119.81}, 0.4},
+      {"Fresno", {36.75, -119.77}, 0.9},
+      {"San Jose", {37.34, -121.89}, 1.7},
+      {"Baltimore", {39.29, -76.61}, 2.6},
+      {"Norfolk", {36.85, -76.29}, 1.6},
+      {"Louisville", {38.25, -85.76}, 1.0},
+      {"Birmingham", {33.52, -86.80}, 1.1},
+      {"Rochester", {43.16, -77.61}, 1.1},
+      {"Albany", {42.65, -73.75}, 0.9},
+      {"Syracuse", {43.05, -76.15}, 0.7},
+      {"Des Moines", {41.59, -93.62}, 0.5},
+      {"Little Rock", {34.75, -92.29}, 0.6},
+      {"Jackson", {32.30, -90.18}, 0.5},
+      {"Baton Rouge", {30.45, -91.19}, 0.7},
+      {"Tulsa", {36.15, -95.99}, 0.8},
+      {"Wichita", {37.69, -97.34}, 0.6},
+      {"Colorado Springs", {38.83, -104.82}, 0.5},
+      {"Madison", {43.07, -89.40}, 0.5},
+      {"Grand Rapids", {42.96, -85.66}, 1.0},
+      {"Dayton", {39.76, -84.19}, 0.9},
+      {"Knoxville", {35.96, -83.92}, 0.7},
+      {"Greensboro", {36.07, -79.79}, 0.7},
+      {"Columbia", {34.00, -81.03}, 0.6},
+      {"Charleston", {32.78, -79.93}, 0.5},
+      {"Savannah", {32.08, -81.09}, 0.3},
+      {"Chattanooga", {35.05, -85.31}, 0.5},
+      // --- Canada ---
+      {"Toronto", {43.65, -79.38}, 4.7},
+      {"Montreal", {45.50, -73.57}, 3.4},
+      {"Vancouver", {49.28, -123.12}, 2.0},
+      {"Calgary", {51.05, -114.07}, 1.0},
+      {"Ottawa", {45.42, -75.70}, 1.1},
+      {"Edmonton", {53.55, -113.49}, 0.9},
+      {"Winnipeg", {49.90, -97.14}, 0.7},
+      {"Halifax", {44.65, -63.57}, 0.4},
+      // --- Europe ---
+      {"London", {51.51, -0.13}, 12.0},
+      {"Paris", {48.86, 2.35}, 11.0},
+      {"Frankfurt", {50.11, 8.68}, 2.5},
+      {"Amsterdam", {52.37, 4.89}, 2.3},
+      {"Brussels", {50.85, 4.35}, 1.8},
+      {"Madrid", {40.42, -3.70}, 5.5},
+      {"Milan", {45.46, 9.19}, 4.0},
+      {"Munich", {48.14, 11.58}, 2.4},
+      {"Zurich", {47.38, 8.54}, 1.1},
+      {"Vienna", {48.21, 16.37}, 2.1},
+      {"Stockholm", {59.33, 18.07}, 1.8},
+      {"Copenhagen", {55.68, 12.57}, 1.8},
+      {"Dublin", {53.35, -6.26}, 1.5},
+      {"Geneva", {46.20, 6.14}, 0.8},
+      {"Hamburg", {53.55, 9.99}, 2.5},
+      {"Berlin", {52.52, 13.40}, 4.0},
+      {"Rome", {41.90, 12.50}, 3.7},
+      {"Barcelona", {41.39, 2.17}, 4.4},
+      {"Lisbon", {38.72, -9.14}, 2.6},
+      {"Oslo", {59.91, 10.75}, 1.0},
+      {"Helsinki", {60.17, 24.94}, 1.2},
+      {"Warsaw", {52.23, 21.01}, 2.4},
+      {"Prague", {50.08, 14.44}, 1.9},
+      {"Budapest", {47.50, 19.04}, 2.5},
+      {"Athens", {37.98, 23.73}, 3.2},
+      {"Manchester", {53.48, -2.24}, 2.5},
+      // --- Asia & Oceania ---
+      {"Tokyo", {35.68, 139.69}, 33.0},
+      {"Osaka", {34.69, 135.50}, 16.0},
+      {"Hong Kong", {22.32, 114.17}, 6.8},
+      {"Singapore", {1.35, 103.82}, 4.0},
+      {"Seoul", {37.57, 126.98}, 21.0},
+      {"Taipei", {25.03, 121.57}, 6.5},
+      {"Sydney", {-33.87, 151.21}, 4.0},
+      {"Melbourne", {-37.81, 144.96}, 3.5},
+      {"Auckland", {-36.85, 174.76}, 1.2},
+      {"Mumbai", {19.08, 72.88}, 16.4},
+      {"Bangalore", {12.97, 77.59}, 5.7},
+      {"Shanghai", {31.23, 121.47}, 13.2},
+      {"Beijing", {39.90, 116.41}, 10.8},
+      // --- South America ---
+      {"Sao Paulo", {-23.55, -46.63}, 17.1},
+      {"Buenos Aires", {-34.60, -58.38}, 11.9},
+      {"Santiago", {-33.45, -70.67}, 5.4},
+      {"Rio de Janeiro", {-22.91, -43.17}, 10.8},
+      {"Bogota", {4.71, -74.07}, 6.3},
+      {"Mexico City", {19.43, -99.13}, 18.1},
+  };
+}
+
+}  // namespace
+
+CityDb::CityDb(std::vector<City> cities) : cities_(std::move(cities)) {
+  if (cities_.empty()) throw std::invalid_argument("CityDb: empty city list");
+  for (const auto& c : cities_) {
+    if (c.population_millions <= 0.0)
+      throw std::invalid_argument("CityDb: non-positive population for " + c.name);
+    total_population_ += c.population_millions;
+  }
+}
+
+const CityDb& CityDb::builtin() {
+  static const CityDb db{builtin_cities()};
+  return db;
+}
+
+std::optional<std::size_t> CityDb::find(const std::string& name) const {
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    if (cities_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nexit::geo

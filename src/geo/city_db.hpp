@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/coord.hpp"
+
+namespace nexit::geo {
+
+/// One city a PoP can be placed in. Population is the metro population in
+/// millions; the gravity traffic model uses it as the PoP "weight" (the paper
+/// estimated weights from the CIESIN population grid — see DESIGN.md for the
+/// substitution note).
+struct City {
+  std::string name;
+  Coord coord;
+  double population_millions = 0.0;
+};
+
+/// Embedded database of world cities used to place synthetic PoPs.
+/// Deterministic: the list and its order are fixed at compile time.
+class CityDb {
+ public:
+  /// The built-in list (~120 cities across North America, Europe, Asia,
+  /// South America, Oceania; skewed toward the US as Rocketfuel ISPs were).
+  static const CityDb& builtin();
+
+  explicit CityDb(std::vector<City> cities);
+
+  [[nodiscard]] std::size_t size() const { return cities_.size(); }
+  [[nodiscard]] const City& at(std::size_t i) const { return cities_.at(i); }
+  [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
+
+  /// Index lookup by exact name; nullopt if absent.
+  [[nodiscard]] std::optional<std::size_t> find(const std::string& name) const;
+
+  /// Total population across all cities (for weighted sampling).
+  [[nodiscard]] double total_population() const { return total_population_; }
+
+ private:
+  std::vector<City> cities_;
+  double total_population_ = 0.0;
+};
+
+}  // namespace nexit::geo

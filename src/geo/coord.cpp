@@ -1,0 +1,21 @@
+#include "geo/coord.hpp"
+
+#include <cmath>
+
+namespace nexit::geo {
+
+double deg_to_rad(double deg) { return deg * 0.017453292519943295; }
+
+double haversine_km(const Coord& a, const Coord& b) {
+  constexpr double kEarthRadiusKm = 6371.0088;
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+}  // namespace nexit::geo

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace nexit::geo {
+
+/// Geographic coordinate in degrees. Latitude in [-90, 90], longitude in
+/// [-180, 180].
+struct Coord {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Great-circle distance in kilometres (haversine formula, mean Earth radius
+/// 6371.0088 km). Used to estimate link lengths from PoP coordinates, as the
+/// paper does ([22] in the paper).
+double haversine_km(const Coord& a, const Coord& b);
+
+/// Degrees-to-radians helper exposed for tests.
+double deg_to_rad(double deg);
+
+}  // namespace nexit::geo

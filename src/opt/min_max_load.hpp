@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "routing/loads.hpp"
+#include "routing/pair_routing.hpp"
+
+namespace nexit::opt {
+
+/// Configuration for the min-max load optimisation.
+struct MinMaxConfig {
+  /// Which ISPs' links constrain the objective. Both for the globally
+  /// optimal routing of §5.2; only the upstream side for the unilateral
+  /// upstream-centric optimisation of Fig. 8.
+  bool constrain_side_a = true;
+  bool constrain_side_b = true;
+};
+
+struct MinMaxLoadResult {
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  /// The minimised maximum load/capacity ratio over constrained links that
+  /// any negotiable flow can touch. (Links untouched by negotiable flows
+  /// contribute a constant ratio; compute overall MELs from the assignment.)
+  double objective = 0.0;
+  /// Covers every flow: non-negotiable flows keep their base interconnection
+  /// with fraction 1; negotiable flows may be split fractionally.
+  routing::FractionalAssignment assignment;
+};
+
+/// Computes the globally optimal (fractional) re-routing of the negotiable
+/// flows that minimises the maximum link load ratio — the LP the paper uses
+/// as the "globally optimal routing" baseline in §5.2. Flows may be divided
+/// fractionally among interconnections, so the result upper-bounds what any
+/// integral routing (including negotiation) can achieve.
+///
+/// `negotiable[i]` marks flows to re-route; others stay on
+/// `base_assignment.ix_of_flow[i]` and contribute background load.
+/// `candidates` are the interconnection indices available (the ones up).
+MinMaxLoadResult solve_min_max_load(const routing::PairRouting& routing,
+                                    const std::vector<traffic::Flow>& flows,
+                                    const std::vector<char>& negotiable,
+                                    const routing::Assignment& base_assignment,
+                                    const std::vector<std::size_t>& candidates,
+                                    const routing::LoadMap& capacities,
+                                    const MinMaxConfig& config = {});
+
+/// Rounds a fractional assignment to an integral one: each flow goes to its
+/// largest share (ties toward the lowest interconnection index).
+routing::Assignment round_to_integral(const routing::FractionalAssignment& fa);
+
+}  // namespace nexit::opt

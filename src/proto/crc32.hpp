@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace nexit::proto {
+
+/// IEEE 802.3 CRC-32 (the zlib polynomial), table-driven.
+/// Frames carry it as a trailer so corrupted input is rejected instead of
+/// parsed (tests inject corruption through the fault channel).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace nexit::proto

@@ -1,0 +1,92 @@
+#include "proto/frame.hpp"
+
+#include <algorithm>
+
+#include "proto/crc32.hpp"
+
+namespace nexit::proto {
+
+namespace {
+constexpr std::size_t kHeaderSize = 2 + 1 + 1 + 4;  // magic, version, type, len
+constexpr std::size_t kTrailerSize = 4;             // crc32
+}  // namespace
+
+Bytes encode_frame(const Frame& frame) {
+  Writer w;
+  w.put_u8(static_cast<std::uint8_t>(kFrameMagic >> 8));
+  w.put_u8(static_cast<std::uint8_t>(kFrameMagic & 0xff));
+  w.put_u8(kProtocolVersion);
+  w.put_u8(frame.type);
+  w.put_u32_fixed(static_cast<std::uint32_t>(frame.payload.size()));
+  Bytes out = std::move(w).take();
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  const std::uint32_t crc = crc32(out.data(), out.size());
+  Writer trailer;
+  trailer.put_u32_fixed(crc);
+  const Bytes& t = trailer.data();
+  out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+void FrameDecoder::fail(const std::string& why) {
+  failed_ = true;
+  error_ = why;
+  buffer_.clear();
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed_ || buffer_.size() < kHeaderSize) return std::nullopt;
+
+  // Peek the header without consuming.
+  std::uint8_t header[kHeaderSize];
+  std::copy_n(buffer_.begin(), kHeaderSize, header);
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>((header[0] << 8) | header[1]);
+  if (magic != kFrameMagic) {
+    fail("bad magic");
+    return std::nullopt;
+  }
+  if (header[2] != kProtocolVersion) {
+    fail("unsupported protocol version");
+    return std::nullopt;
+  }
+  const std::uint8_t type = header[3];
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[4]) |
+      (static_cast<std::uint32_t>(header[5]) << 8) |
+      (static_cast<std::uint32_t>(header[6]) << 16) |
+      (static_cast<std::uint32_t>(header[7]) << 24);
+  if (length > kMaxPayload) {
+    fail("payload too large");
+    return std::nullopt;
+  }
+  const std::size_t total = kHeaderSize + length + kTrailerSize;
+  if (buffer_.size() < total) return std::nullopt;  // need more bytes
+
+  Bytes whole(total);
+  std::copy_n(buffer_.begin(), total, whole.begin());
+  const std::uint32_t expected_crc =
+      static_cast<std::uint32_t>(whole[total - 4]) |
+      (static_cast<std::uint32_t>(whole[total - 3]) << 8) |
+      (static_cast<std::uint32_t>(whole[total - 2]) << 16) |
+      (static_cast<std::uint32_t>(whole[total - 1]) << 24);
+  const std::uint32_t actual_crc = crc32(whole.data(), total - kTrailerSize);
+  if (expected_crc != actual_crc) {
+    fail("crc mismatch");
+    return std::nullopt;
+  }
+
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+  Frame f;
+  f.type = type;
+  f.payload.assign(whole.begin() + kHeaderSize,
+                   whole.begin() + static_cast<std::ptrdiff_t>(kHeaderSize + length));
+  return f;
+}
+
+}  // namespace nexit::proto

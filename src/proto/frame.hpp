@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "proto/wire.hpp"
+#include "util/result.hpp"
+
+namespace nexit::proto {
+
+/// Frame layout on the byte stream:
+///   magic   u16   0x4e58 ("NX")
+///   version u8
+///   type    u8
+///   length  u32   payload byte count (little-endian)
+///   payload length bytes
+///   crc32   u32   over magic..payload
+struct Frame {
+  std::uint8_t type = 0;
+  Bytes payload;
+};
+
+inline constexpr std::uint16_t kFrameMagic = 0x4e58;
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kMaxPayload = 4u << 20;
+
+/// Serialises one frame.
+Bytes encode_frame(const Frame& frame);
+
+/// Incremental frame decoder: feed arbitrary byte chunks, pop complete
+/// frames. Any malformed header or CRC mismatch poisons the stream (the
+/// session must be torn down — resynchronising a corrupted negotiation
+/// stream is not safe, misinterpreted preferences corrupt routing).
+class FrameDecoder {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  void feed(const Bytes& b) { feed(b.data(), b.size()); }
+
+  /// Next complete frame, if any. Returns nullopt when more bytes are
+  /// needed or the stream is poisoned (check error()).
+  std::optional<Frame> next();
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  void fail(const std::string& why);
+
+  std::deque<std::uint8_t> buffer_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace nexit::proto

@@ -1,0 +1,60 @@
+#include "routing/loads.hpp"
+
+#include <stdexcept>
+
+namespace nexit::routing {
+
+LoadMap LoadMap::zeros(const topology::IspPair& pair) {
+  LoadMap m;
+  m.per_side[0].assign(pair.a().backbone().edge_count(), 0.0);
+  m.per_side[1].assign(pair.b().backbone().edge_count(), 0.0);
+  return m;
+}
+
+LoadMap& LoadMap::operator+=(const LoadMap& other) {
+  for (int s = 0; s < 2; ++s) {
+    if (per_side[s].size() != other.per_side[s].size())
+      throw std::invalid_argument("LoadMap::operator+=: shape mismatch");
+    for (std::size_t e = 0; e < per_side[s].size(); ++e)
+      per_side[s][e] += other.per_side[s][e];
+  }
+  return *this;
+}
+
+void add_flow_load(LoadMap& loads, const PairRouting& routing,
+                   const traffic::Flow& f, std::size_t ix, double scale) {
+  const int up = traffic::upstream_side(f.direction);
+  const int down = traffic::downstream_side(f.direction);
+  const double amount = scale * f.size;
+  for (graph::EdgeIndex e : routing.upstream_path_edges(f, ix))
+    loads.per_side[up].at(static_cast<std::size_t>(e)) += amount;
+  for (graph::EdgeIndex e : routing.downstream_path_edges(f, ix))
+    loads.per_side[down].at(static_cast<std::size_t>(e)) += amount;
+}
+
+LoadMap compute_loads(const PairRouting& routing,
+                      const std::vector<traffic::Flow>& flows,
+                      const Assignment& assignment) {
+  if (assignment.ix_of_flow.size() != flows.size())
+    throw std::invalid_argument("compute_loads: assignment size mismatch");
+  LoadMap loads = LoadMap::zeros(routing.pair());
+  for (std::size_t i = 0; i < flows.size(); ++i)
+    add_flow_load(loads, routing, flows[i], assignment.ix_of_flow[i], 1.0);
+  return loads;
+}
+
+LoadMap compute_loads_fractional(const PairRouting& routing,
+                                 const std::vector<traffic::Flow>& flows,
+                                 const FractionalAssignment& assignment) {
+  if (assignment.shares_of_flow.size() != flows.size())
+    throw std::invalid_argument("compute_loads_fractional: size mismatch");
+  LoadMap loads = LoadMap::zeros(routing.pair());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (const auto& share : assignment.shares_of_flow[i]) {
+      add_flow_load(loads, routing, flows[i], share.ix, share.fraction);
+    }
+  }
+  return loads;
+}
+
+}  // namespace nexit::routing

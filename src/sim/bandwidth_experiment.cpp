@@ -1,0 +1,152 @@
+#include "sim/bandwidth_experiment.hpp"
+
+#include "core/cheating.hpp"
+#include "core/oracles.hpp"
+#include "metrics/metrics.hpp"
+#include "opt/min_max_load.hpp"
+#include "routing/loads.hpp"
+#include "util/log.hpp"
+
+namespace nexit::sim {
+
+std::vector<BandwidthSample> run_bandwidth_experiment(
+    const BandwidthExperimentConfig& config) {
+  // Failure experiments need >= 3 interconnections (>= 2 survivors).
+  const std::vector<topology::IspPair> pairs =
+      build_pair_universe(config.universe, 3);
+
+  util::Rng rng(config.universe.seed ^ 0xba5eba11ull);
+  std::vector<BandwidthSample> samples;
+
+  for (const topology::IspPair& pair : pairs) {
+    const routing::PairRouting routing(pair);
+
+    // One direction of traffic at a time (paper §5.2); A is the upstream.
+    util::Rng traffic_rng = rng.fork();
+    const traffic::TrafficMatrix tm = traffic::TrafficMatrix::build(
+        pair, traffic::Direction::kAtoB, config.traffic, traffic_rng);
+
+    std::vector<std::size_t> all_ix(pair.interconnection_count());
+    for (std::size_t i = 0; i < all_ix.size(); ++i) all_ix[i] = i;
+
+    // Pre-failure: early-exit everywhere; capacities derive from its loads.
+    const routing::Assignment pre_failure =
+        routing::assign_early_exit(routing, tm.flows(), all_ix);
+    const routing::LoadMap baseline =
+        routing::compute_loads(routing, tm.flows(), pre_failure);
+    const routing::LoadMap caps =
+        capacity::assign_capacities(baseline, config.capacity);
+
+    const std::size_t failures =
+        std::min(config.max_failures_per_pair, pair.interconnection_count());
+    for (std::size_t failed = 0; failed < failures; ++failed) {
+      core::NegotiationProblem problem;
+      try {
+        problem = core::make_failure_problem(routing, tm.flows(), failed);
+      } catch (const std::invalid_argument&) {
+        continue;  // fewer than 2 survivors
+      }
+      if (problem.negotiable.empty()) continue;  // nothing used this link
+
+      BandwidthSample s;
+      s.pair_label = pair.label();
+      s.failed_ix = failed;
+      s.affected_flows = problem.negotiable.size();
+      s.affected_volume_fraction =
+          problem.negotiable_volume() / tm.total_volume();
+
+      std::vector<char> negotiable_mask(tm.size(), 0);
+      for (std::size_t idx : problem.negotiable) negotiable_mask[idx] = 1;
+
+      // Default: early-exit over the survivors (already in the problem).
+      const routing::LoadMap default_loads =
+          routing::compute_loads(routing, tm.flows(), problem.default_assignment);
+      s.mel_default[0] = metrics::side_mel(default_loads, caps, 0);
+      s.mel_default[1] = metrics::side_mel(default_loads, caps, 1);
+
+      // Globally optimal: fractional min-max LP over both ISPs' links.
+      const opt::MinMaxLoadResult lp = opt::solve_min_max_load(
+          routing, tm.flows(), negotiable_mask, pre_failure, problem.candidates,
+          caps);
+      if (lp.status != lp::SolveStatus::kOptimal) {
+        NEXIT_WARN << "LP failed (" << lp::to_string(lp.status) << ") for "
+                   << pair.label() << " failure " << failed;
+        continue;
+      }
+      const routing::LoadMap optimal_loads =
+          routing::compute_loads_fractional(routing, tm.flows(), lp.assignment);
+      s.mel_optimal[0] = metrics::side_mel(optimal_loads, caps, 0);
+      s.mel_optimal[1] = metrics::side_mel(optimal_loads, caps, 1);
+
+      // Negotiated: Nexit with bandwidth oracles (downstream may use the
+      // distance oracle in the diverse-criteria mode, §5.3), upstream may
+      // cheat (§5.4).
+      const core::PreferenceConfig pc = config.negotiation.preferences;
+      core::BandwidthOracle bw_a(0, pc, caps);
+      core::BandwidthOracle bw_b(1, pc, caps);
+      core::PiecewiseCostOracle pw_a(0, pc, caps);
+      core::PiecewiseCostOracle pw_b(1, pc, caps);
+      core::DistanceOracle dist_b(1, pc);
+      core::PreferenceOracle& honest_a =
+          config.use_piecewise_cost ? static_cast<core::PreferenceOracle&>(pw_a)
+                                    : bw_a;
+      core::CheatingOracle cheat_a(honest_a, pc.range);
+      core::PreferenceOracle& oracle_a =
+          config.upstream_cheats ? static_cast<core::PreferenceOracle&>(cheat_a)
+                                 : honest_a;
+      core::PreferenceOracle& oracle_b =
+          config.downstream_uses_distance
+              ? static_cast<core::PreferenceOracle&>(dist_b)
+              : (config.use_piecewise_cost
+                     ? static_cast<core::PreferenceOracle&>(pw_b)
+                     : bw_b);
+
+      core::NegotiationConfig ncfg = config.negotiation;
+      ncfg.seed = rng.next_u64();
+      core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
+      const core::NegotiationOutcome outcome = engine.run();
+      s.flows_moved = outcome.flows_moved;
+      const routing::LoadMap negotiated_loads =
+          routing::compute_loads(routing, tm.flows(), outcome.assignment);
+      s.mel_negotiated[0] = metrics::side_mel(negotiated_loads, caps, 0);
+      s.mel_negotiated[1] = metrics::side_mel(negotiated_loads, caps, 1);
+
+      if (config.downstream_uses_distance) {
+        double def_km = 0.0, neg_km = 0.0;
+        for (std::size_t idx : problem.negotiable) {
+          const traffic::Flow& f = tm.flows()[idx];
+          def_km += f.size * routing.km_in_side(
+                                 f, problem.default_assignment.ix_of_flow[idx], 1);
+          neg_km += f.size *
+                    routing.km_in_side(f, outcome.assignment.ix_of_flow[idx], 1);
+        }
+        s.downstream_distance_gain_pct =
+            def_km > 0.0 ? (def_km - neg_km) / def_km * 100.0 : 0.0;
+      }
+
+      // Fig. 8: upstream optimises its own network unilaterally (fractional
+      // LP over upstream links only, then implemented integrally).
+      if (config.include_unilateral) {
+        opt::MinMaxConfig up_only;
+        up_only.constrain_side_a = true;
+        up_only.constrain_side_b = false;
+        const opt::MinMaxLoadResult up_lp = opt::solve_min_max_load(
+            routing, tm.flows(), negotiable_mask, pre_failure,
+            problem.candidates, caps, up_only);
+        if (up_lp.status == lp::SolveStatus::kOptimal) {
+          const routing::Assignment unilateral =
+              opt::round_to_integral(up_lp.assignment);
+          const routing::LoadMap uni_loads =
+              routing::compute_loads(routing, tm.flows(), unilateral);
+          s.mel_unilateral[0] = metrics::side_mel(uni_loads, caps, 0);
+          s.mel_unilateral[1] = metrics::side_mel(uni_loads, caps, 1);
+        }
+      }
+
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+}  // namespace nexit::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "capacity/capacity.hpp"
+#include "core/engine.hpp"
+#include "sim/pair_universe.hpp"
+#include "traffic/traffic.hpp"
+
+namespace nexit::sim {
+
+/// §5.2/§5.3/§5.4 experiment: an interconnection fails, the affected flows
+/// are re-routed by default (early-exit), globally optimal (fractional LP),
+/// negotiated (Nexit with bandwidth oracles), and optionally by unilateral
+/// upstream optimisation (Fig. 8). One direction of traffic at a time.
+struct BandwidthExperimentConfig {
+  UniverseConfig universe;
+  /// Paper setting: always-accept; the settlement rollback keeps it no-loss.
+  /// Callers set reassign_traffic_fraction (the paper uses 0.05).
+  core::NegotiationConfig negotiation = [] {
+    core::NegotiationConfig c;
+    c.acceptance = core::AcceptancePolicy::kProtective;
+    return c;
+  }();
+  traffic::TrafficConfig traffic;       // gravity model by default
+  capacity::CapacityConfig capacity;
+  /// Upstream lies about its preferences (§5.4, Fig. 11).
+  bool upstream_cheats = false;
+  /// Downstream optimises distance instead of bandwidth (§5.3, Fig. 9).
+  bool downstream_uses_distance = false;
+  /// Both ISPs use the paper's alternate piecewise-linear link-cost metric
+  /// instead of MEL (the §5.2 "alternate models" sensitivity check).
+  bool use_piecewise_cost = false;
+  /// Also compute the Fig. 8 unilateral upstream optimisation series.
+  bool include_unilateral = true;
+  /// Cap on failures simulated per pair (one sample per failed link).
+  std::size_t max_failures_per_pair = 4;
+};
+
+struct BandwidthSample {
+  std::string pair_label;
+  std::size_t failed_ix = 0;
+  std::size_t affected_flows = 0;
+  double affected_volume_fraction = 0.0;
+  std::size_t flows_moved = 0;  // negotiated away from post-failure default
+
+  // Per-side MELs (0 = upstream ISP A, 1 = downstream ISP B) after failure.
+  double mel_default[2] = {0.0, 0.0};
+  double mel_negotiated[2] = {0.0, 0.0};
+  double mel_optimal[2] = {0.0, 0.0};
+  double mel_unilateral[2] = {0.0, 0.0};
+
+  /// Fig. 9 right: % reduction of the affected flows' distance inside the
+  /// downstream ISP versus the default (only filled in diverse mode).
+  double downstream_distance_gain_pct = 0.0;
+
+  [[nodiscard]] double ratio(const double mel[2], int side) const {
+    return mel_optimal[side] > 0.0 ? mel[side] / mel_optimal[side] : 1.0;
+  }
+};
+
+std::vector<BandwidthSample> run_bandwidth_experiment(
+    const BandwidthExperimentConfig& config);
+
+}  // namespace nexit::sim

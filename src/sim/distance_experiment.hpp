@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "sim/pair_universe.hpp"
+
+namespace nexit::sim {
+
+/// §5.1 experiment: steady-state distance/cost, flows in both directions,
+/// early-exit default, per-flow optimal, and Nexit negotiation with distance
+/// oracles. Optionally one ISP cheats (§5.4, Fig. 10) and the Fig. 5
+/// flow-pair strategies are evaluated alongside.
+struct DistanceExperimentConfig {
+  UniverseConfig universe;
+  /// Matches the paper's experimental setting: proposals always accepted
+  /// ("our goal is to evaluate the benefit of negotiation when ISPs
+  /// cooperate fully"); the §6 settlement rollback still guarantees that no
+  /// ISP ends below its default.
+  core::NegotiationConfig negotiation = [] {
+    core::NegotiationConfig c;
+    c.acceptance = core::AcceptancePolicy::kProtective;
+    return c;
+  }();
+  /// Side that lies about its preferences (-1 = nobody; 0 = ISP A).
+  int cheater_side = -1;
+  /// Also run the Fig. 5 baselines (flow-Pareto / flow-both-better).
+  bool run_flow_pair_baselines = true;
+  /// Negotiate in `groups` random partitions instead of the whole set
+  /// (1 = whole set; >1 reproduces the §5.1 group-negotiation ablation).
+  std::size_t groups = 1;
+};
+
+struct DistanceSample {
+  std::string pair_label;
+  std::size_t interconnections = 0;
+  std::size_t flow_count = 0;
+  std::size_t flows_moved = 0;
+
+  // Total km across both ISPs, all flows.
+  double default_km = 0.0;
+  double optimal_km = 0.0;
+  double negotiated_km = 0.0;
+  double pareto_km = 0.0;       // Fig. 5 flow-Pareto (if enabled)
+  double bothbetter_km = 0.0;   // Fig. 5 flow-both-better (if enabled)
+
+  // Km inside each ISP (side 0 = A, 1 = B) for the individual view (Fig 4b).
+  double default_side_km[2] = {0.0, 0.0};
+  double optimal_side_km[2] = {0.0, 0.0};
+  double negotiated_side_km[2] = {0.0, 0.0};
+
+  // Per-flow % gains versus default (Fig. 6), aggregated later.
+  std::vector<double> flow_gain_pct_optimal;
+  std::vector<double> flow_gain_pct_negotiated;
+  // Per-flow absolute km saved by negotiation (concentration analyses).
+  std::vector<double> flow_saving_km_negotiated;
+
+  [[nodiscard]] double total_gain_pct(double method_km) const {
+    return default_km > 0.0 ? (default_km - method_km) / default_km * 100.0 : 0.0;
+  }
+  [[nodiscard]] double side_gain_pct(const double method[2], int side) const {
+    return default_side_km[side] > 0.0
+               ? (default_side_km[side] - method[side]) / default_side_km[side] *
+                     100.0
+               : 0.0;
+  }
+};
+
+std::vector<DistanceSample> run_distance_experiment(
+    const DistanceExperimentConfig& config);
+
+}  // namespace nexit::sim

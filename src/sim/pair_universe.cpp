@@ -1,0 +1,33 @@
+#include "sim/pair_universe.hpp"
+
+#include "geo/city_db.hpp"
+#include "util/rng.hpp"
+
+namespace nexit::sim {
+
+std::vector<topology::IspPair> build_pair_universe(const UniverseConfig& config,
+                                                   std::size_t min_links) {
+  util::Rng rng(config.seed);
+  topology::TopologyGenerator gen(geo::CityDb::builtin(), config.generator);
+  const std::vector<topology::IspTopology> isps =
+      gen.generate_universe(config.isp_count, rng);
+
+  std::vector<topology::IspPair> pairs;
+  for (std::size_t i = 0; i < isps.size(); ++i) {
+    for (std::size_t j = i + 1; j < isps.size(); ++j) {
+      auto pair = topology::make_pair_if_peers(isps[i], isps[j], min_links);
+      if (pair) pairs.push_back(*std::move(pair));
+    }
+  }
+
+  // Deterministic subsample when over the cap: shuffle with the universe rng
+  // and truncate, so adding pairs never biases toward low ASN numbers.
+  if (pairs.size() > config.max_pairs) {
+    rng.shuffle(pairs);
+    pairs.erase(pairs.begin() + static_cast<std::ptrdiff_t>(config.max_pairs),
+                pairs.end());
+  }
+  return pairs;
+}
+
+}  // namespace nexit::sim

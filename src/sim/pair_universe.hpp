@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/generator.hpp"
+#include "topology/isp_topology.hpp"
+
+namespace nexit::sim {
+
+/// The synthetic stand-in for the paper's measured dataset: a universe of
+/// ISPs from which all peering pairs (>= min_links shared cities) are formed.
+struct UniverseConfig {
+  std::size_t isp_count = 65;  // the paper's dataset size
+  std::uint64_t seed = 42;
+  topology::GeneratorConfig generator;
+  /// Upper bound on returned pairs (deterministic subsample); the paper had
+  /// 229 pairs (>=2 links) / 247 ordered instances (>=3 links).
+  std::size_t max_pairs = 250;
+};
+
+/// All ISP pairs from a fresh universe with at least `min_links`
+/// interconnections. Deterministic for a given config.
+std::vector<topology::IspPair> build_pair_universe(const UniverseConfig& config,
+                                                   std::size_t min_links);
+
+}  // namespace nexit::sim

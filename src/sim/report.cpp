@@ -1,0 +1,38 @@
+#include "sim/report.hpp"
+
+#include <iostream>
+
+namespace nexit::sim {
+
+namespace {
+const std::vector<double> kPercentiles{5,  10, 20, 25, 30, 40, 50,
+                                       60, 70, 75, 80, 90, 95, 99};
+}
+
+void print_bench_header(const std::string& figure_id, const std::string& title,
+                        const std::string& config_summary) {
+  std::cout << "\n==============================================================\n"
+            << figure_id << ": " << title << "\n"
+            << "config: " << config_summary << "\n"
+            << "==============================================================\n";
+}
+
+void print_cdf_figure(const std::string& figure_id, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<std::string>& series_names,
+                      const std::vector<const util::Cdf*>& series) {
+  std::cout << "\n--- " << figure_id << ": " << title << " ---\n"
+            << "x = " << x_label << "; rows are CDF percentiles";
+  if (!series.empty() && series[0] != nullptr && !series[0]->empty())
+    std::cout << " (n = " << series[0]->sorted_samples().size() << ")";
+  std::cout << "\n"
+            << util::format_cdf_table(series_names, series, kPercentiles);
+}
+
+void paper_check(const std::string& claim, const std::string& measured,
+                 bool holds) {
+  std::cout << (holds ? "[OK]   " : "[MISS] ") << claim << "\n"
+            << "       measured: " << measured << "\n";
+}
+
+}  // namespace nexit::sim

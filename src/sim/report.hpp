@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace nexit::sim {
+
+/// Prints a paper-figure-shaped table: one row per percentile of the CDF,
+/// one column per named series, plus a short header. The bench binaries use
+/// this to emit the series behind every figure in the paper's §5.
+void print_cdf_figure(const std::string& figure_id, const std::string& title,
+                      const std::string& x_label,
+                      const std::vector<std::string>& series_names,
+                      const std::vector<const util::Cdf*>& series);
+
+/// Prints a single "PAPER-CHECK" line: the paper's qualitative claim, our
+/// measured value, and whether the shape holds.
+void paper_check(const std::string& claim, const std::string& measured,
+                 bool holds);
+
+/// Section header for one bench binary.
+void print_bench_header(const std::string& figure_id, const std::string& title,
+                        const std::string& config_summary);
+
+}  // namespace nexit::sim

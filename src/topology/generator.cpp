@@ -1,0 +1,164 @@
+#include "topology/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nexit::topology {
+
+TopologyGenerator::TopologyGenerator(const geo::CityDb& db, GeneratorConfig config)
+    : db_(&db), config_(config) {
+  if (config_.min_pops < 2 || config_.max_pops < config_.min_pops)
+    throw std::invalid_argument("GeneratorConfig: bad pop count range");
+  if (config_.max_pops > db.size())
+    throw std::invalid_argument("GeneratorConfig: max_pops exceeds city count");
+}
+
+Footprint TopologyGenerator::classify_city(const geo::Coord& c) {
+  if (c.lon_deg < -30.0 && c.lat_deg > 5.0) return Footprint::kNorthAmerica;
+  if (c.lon_deg >= -30.0 && c.lon_deg <= 45.0 && c.lat_deg > 34.0)
+    return Footprint::kEurope;
+  return Footprint::kGlobal;
+}
+
+std::vector<std::size_t> TopologyGenerator::sample_cities(std::size_t count,
+                                                          Footprint fp,
+                                                          util::Rng& rng) const {
+  // Candidate cities restricted by footprint; kGlobal draws from everywhere.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < db_->size(); ++i) {
+    if (fp == Footprint::kGlobal || classify_city(db_->at(i).coord) == fp)
+      candidates.push_back(i);
+  }
+  if (candidates.size() < count) {
+    // Footprint too small for the requested size; widen to global.
+    candidates.clear();
+    for (std::size_t i = 0; i < db_->size(); ++i) candidates.push_back(i);
+  }
+
+  // Weighted sampling without replacement, weight = population^bias.
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (std::size_t i : candidates)
+    weights.push_back(std::pow(db_->at(i).population_millions, config_.population_bias));
+
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = rng.next_double() * total;
+    std::size_t pick = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (weights[i] <= 0.0) continue;
+      r -= weights[i];
+      pick = i;
+      if (r <= 0.0) break;
+    }
+    chosen.push_back(candidates[pick]);
+    weights[pick] = 0.0;  // without replacement
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+IspTopology TopologyGenerator::generate(AsNumber asn, util::Rng& rng) const {
+  const std::size_t n =
+      static_cast<std::size_t>(rng.next_int(static_cast<std::int64_t>(config_.min_pops),
+                                            static_cast<std::int64_t>(config_.max_pops)));
+
+  Footprint fp = Footprint::kGlobal;
+  const double roll = rng.next_double();
+  if (roll < config_.frac_north_america) {
+    fp = Footprint::kNorthAmerica;
+  } else if (roll < config_.frac_north_america + config_.frac_europe) {
+    fp = Footprint::kEurope;
+  }
+
+  const std::vector<std::size_t> cities = sample_cities(n, fp, rng);
+
+  std::vector<Pop> pops;
+  pops.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geo::City& c = db_->at(cities[i]);
+    pops.push_back(Pop{PopId{static_cast<std::int32_t>(i)}, cities[i], c.name,
+                       c.coord, c.population_millions});
+  }
+
+  // Pairwise geographic distances.
+  std::vector<std::vector<double>> dist(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      dist[i][j] = dist[j][i] = geo::haversine_km(pops[i].coord, pops[j].coord);
+    }
+  }
+
+  graph::Graph g(n);
+  auto add_link = [&](std::size_t i, std::size_t j) {
+    const double len = std::max(dist[i][j], 1.0);
+    const double w = len * rng.next_double(1.0 - config_.weight_noise,
+                                           1.0 + config_.weight_noise) +
+                     config_.weight_offset_km;
+    g.add_edge(static_cast<graph::NodeIndex>(i), static_cast<graph::NodeIndex>(j),
+               w, len);
+  };
+
+  // Backbone: Prim's MST over geographic distance guarantees connectivity and
+  // matches the geographic-locality structure of measured ISP maps.
+  std::vector<char> in_tree(n, 0);
+  std::vector<double> best(n, graph::kInfDistance);
+  std::vector<std::size_t> best_from(n, 0);
+  std::vector<std::vector<char>> linked(n, std::vector<char>(n, 0));
+  in_tree[0] = 1;
+  for (std::size_t j = 1; j < n; ++j) {
+    best[j] = dist[0][j];
+    best_from[j] = 0;
+  }
+  for (std::size_t added = 1; added < n; ++added) {
+    std::size_t pick = 0;
+    double pick_d = graph::kInfDistance;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best[j] < pick_d) {
+        pick_d = best[j];
+        pick = j;
+      }
+    }
+    in_tree[pick] = 1;
+    add_link(best_from[pick], pick);
+    linked[best_from[pick]][pick] = linked[pick][best_from[pick]] = 1;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && dist[pick][j] < best[j]) {
+        best[j] = dist[pick][j];
+        best_from[j] = pick;
+      }
+    }
+  }
+
+  // Waxman-style shortcuts: probability decays with geographic distance.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (linked[i][j]) continue;
+      const double p = config_.shortcut_alpha *
+                       std::exp(-dist[i][j] / config_.shortcut_length_scale_km);
+      if (rng.next_bool(p)) {
+        add_link(i, j);
+        linked[i][j] = linked[j][i] = 1;
+      }
+    }
+  }
+
+  return IspTopology{asn, "AS" + std::to_string(asn.value()), std::move(pops),
+                     std::move(g)};
+}
+
+std::vector<IspTopology> TopologyGenerator::generate_universe(
+    std::size_t count, util::Rng& rng) const {
+  std::vector<IspTopology> isps;
+  isps.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    isps.push_back(generate(AsNumber{static_cast<std::int32_t>(i + 1)}, rng));
+  }
+  return isps;
+}
+
+}  // namespace nexit::topology

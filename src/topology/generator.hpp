@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geo/city_db.hpp"
+#include "topology/isp_topology.hpp"
+#include "util/rng.hpp"
+
+namespace nexit::topology {
+
+/// Rough geographic footprint of a synthetic ISP. Mirrors the diversity of
+/// the paper's measured dataset (US regionals, European carriers, globals).
+enum class Footprint { kNorthAmerica, kEurope, kGlobal };
+
+/// Parameters of the synthetic topology generator. Defaults produce
+/// PoP-level maps with the structural properties of the measured Rocketfuel
+/// topologies: geographic backbone (an MST over PoP locations) plus
+/// distance-decaying shortcut links, and IGP weights proportional to
+/// geographic length with noise.
+struct GeneratorConfig {
+  std::size_t min_pops = 6;
+  std::size_t max_pops = 24;
+  /// Probability scale for non-MST shortcut edges (Waxman-style).
+  double shortcut_alpha = 0.35;
+  /// Length scale (km) for the exponential distance decay of shortcuts.
+  double shortcut_length_scale_km = 1800.0;
+  /// Link weight = length_km * U(1-w_noise, 1+w_noise) + w_offset.
+  double weight_noise = 0.1;
+  double weight_offset_km = 30.0;
+  /// Exponent applied to city population when sampling PoP locations.
+  /// 1.0 = proportional to population (big cities appear in many ISPs).
+  double population_bias = 1.0;
+  /// Share of ISPs with each footprint (remainder is global).
+  double frac_north_america = 0.55;
+  double frac_europe = 0.20;
+};
+
+/// Generates synthetic ISPs over the embedded city database.
+class TopologyGenerator {
+ public:
+  TopologyGenerator(const geo::CityDb& db, GeneratorConfig config);
+
+  /// Builds one ISP; `asn` also seeds its name ("AS7018"-style).
+  IspTopology generate(AsNumber asn, util::Rng& rng) const;
+
+  /// Builds a universe of `count` ISPs with ASNs 1..count.
+  std::vector<IspTopology> generate_universe(std::size_t count,
+                                             util::Rng& rng) const;
+
+  [[nodiscard]] const GeneratorConfig& config() const { return config_; }
+
+  /// City classification used for footprints (exposed for tests).
+  static Footprint classify_city(const geo::Coord& c);
+
+ private:
+  std::vector<std::size_t> sample_cities(std::size_t count, Footprint fp,
+                                         util::Rng& rng) const;
+
+  const geo::CityDb* db_;
+  GeneratorConfig config_;
+};
+
+}  // namespace nexit::topology

@@ -1,0 +1,97 @@
+#include "traffic/traffic.hpp"
+
+#include <stdexcept>
+
+namespace nexit::traffic {
+
+namespace {
+
+/// Per-PoP weight under the chosen workload model. The gravity model uses
+/// city population (larger cities consume more bandwidth, matching real
+/// traffic skew); identical gives every PoP weight 1; uniform-random draws
+/// weights afresh per matrix from U(0.1, 1.1) to avoid zero rows.
+std::vector<double> pop_weights(const topology::IspTopology& isp,
+                                WorkloadModel model, util::Rng& rng) {
+  std::vector<double> w;
+  w.reserve(isp.pop_count());
+  for (const auto& pop : isp.pops()) {
+    switch (model) {
+      case WorkloadModel::kGravity:
+        w.push_back(pop.population_millions);
+        break;
+      case WorkloadModel::kIdentical:
+        w.push_back(1.0);
+        break;
+      case WorkloadModel::kUniformRandom:
+        w.push_back(rng.next_double(0.1, 1.1));
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+TrafficMatrix::TrafficMatrix(std::vector<Flow> flows) : flows_(std::move(flows)) {
+  for (const auto& f : flows_) total_volume_ += f.size;
+}
+
+void TrafficMatrix::append_direction(const topology::IspPair& pair,
+                                     Direction direction,
+                                     const TrafficConfig& config, util::Rng& rng,
+                                     std::vector<Flow>& out) {
+  const topology::IspTopology& up =
+      (direction == Direction::kAtoB) ? pair.a() : pair.b();
+  const topology::IspTopology& down =
+      (direction == Direction::kAtoB) ? pair.b() : pair.a();
+
+  const std::vector<double> wu = pop_weights(up, config.model, rng);
+  const std::vector<double> wd = pop_weights(down, config.model, rng);
+
+  // Gravity: size(u, v) ~ weight(u) * weight(v), then normalise so the
+  // direction sums to total_volume_per_direction.
+  double total = 0.0;
+  std::vector<double> raw;
+  raw.reserve(up.pop_count() * down.pop_count());
+  for (std::size_t i = 0; i < up.pop_count(); ++i) {
+    for (std::size_t j = 0; j < down.pop_count(); ++j) {
+      const double s = wu[i] * wd[j];
+      raw.push_back(s);
+      total += s;
+    }
+  }
+  if (total <= 0.0) throw std::logic_error("TrafficMatrix: zero total weight");
+
+  const double scale = config.total_volume_per_direction / total;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < up.pop_count(); ++i) {
+    for (std::size_t j = 0; j < down.pop_count(); ++j) {
+      Flow f;
+      f.id = FlowId{static_cast<std::int32_t>(out.size())};
+      f.direction = direction;
+      f.src = topology::PopId{static_cast<std::int32_t>(i)};
+      f.dst = topology::PopId{static_cast<std::int32_t>(j)};
+      f.size = raw[k++] * scale;
+      out.push_back(f);
+    }
+  }
+}
+
+TrafficMatrix TrafficMatrix::build(const topology::IspPair& pair,
+                                   Direction direction,
+                                   const TrafficConfig& config, util::Rng& rng) {
+  std::vector<Flow> flows;
+  append_direction(pair, direction, config, rng, flows);
+  return TrafficMatrix{std::move(flows)};
+}
+
+TrafficMatrix TrafficMatrix::build_bidirectional(const topology::IspPair& pair,
+                                                 const TrafficConfig& config,
+                                                 util::Rng& rng) {
+  std::vector<Flow> flows;
+  append_direction(pair, Direction::kAtoB, config, rng, flows);
+  append_direction(pair, Direction::kBtoA, config, rng, flows);
+  return TrafficMatrix{std::move(flows)};
+}
+
+}  // namespace nexit::traffic

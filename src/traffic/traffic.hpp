@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topology/isp_topology.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace nexit::traffic {
+
+struct FlowTag {};
+/// Flow identifier; equals the flow's index within its TrafficMatrix.
+using FlowId = util::StrongId<FlowTag>;
+
+/// Which ISP originates the flow (is the upstream).
+enum class Direction { kAtoB, kBtoA };
+
+/// Side index helpers: ISP A is side 0, ISP B is side 1.
+[[nodiscard]] constexpr int upstream_side(Direction d) {
+  return d == Direction::kAtoB ? 0 : 1;
+}
+[[nodiscard]] constexpr int downstream_side(Direction d) {
+  return d == Direction::kAtoB ? 1 : 0;
+}
+
+/// A stream of packets from a source PoP in the upstream ISP to a
+/// destination PoP in the downstream ISP (paper §4). All packets of a flow
+/// take the same path; negotiation picks its interconnection.
+struct Flow {
+  FlowId id;
+  Direction direction = Direction::kAtoB;
+  topology::PopId src;  // PoP in the upstream ISP
+  topology::PopId dst;  // PoP in the downstream ISP
+  double size = 1.0;    // offered volume, arbitrary units
+};
+
+/// Workload models from the paper (§5.2 methodology): gravity with
+/// population-proportional PoP weights (primary), identical weights, and
+/// uniform-random weights (the alternates the authors also tried).
+enum class WorkloadModel { kGravity, kIdentical, kUniformRandom };
+
+struct TrafficConfig {
+  WorkloadModel model = WorkloadModel::kGravity;
+  /// Flow sizes are normalised so each direction's flows sum to this.
+  double total_volume_per_direction = 1000.0;
+};
+
+/// The set of flows exchanged between a pair of ISPs: one flow per
+/// (upstream PoP, downstream PoP) pair, per requested direction.
+class TrafficMatrix {
+ public:
+  /// Single direction of traffic (used by the bandwidth experiments).
+  static TrafficMatrix build(const topology::IspPair& pair, Direction direction,
+                             const TrafficConfig& config, util::Rng& rng);
+
+  /// Both directions (used by the distance experiments).
+  static TrafficMatrix build_bidirectional(const topology::IspPair& pair,
+                                           const TrafficConfig& config,
+                                           util::Rng& rng);
+
+  [[nodiscard]] const std::vector<Flow>& flows() const { return flows_; }
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  [[nodiscard]] const Flow& flow(FlowId id) const {
+    return flows_.at(static_cast<std::size_t>(id.value()));
+  }
+  [[nodiscard]] double total_volume() const { return total_volume_; }
+
+ private:
+  static void append_direction(const topology::IspPair& pair, Direction direction,
+                               const TrafficConfig& config, util::Rng& rng,
+                               std::vector<Flow>& out);
+
+  explicit TrafficMatrix(std::vector<Flow> flows);
+
+  std::vector<Flow> flows_;
+  double total_volume_ = 0.0;
+};
+
+}  // namespace nexit::traffic

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace nexit::util {
+
+/// Strongly typed integral identifier. Two StrongIds with different tags do
+/// not convert to each other, which prevents mixing e.g. PoP ids of ISP-A
+/// with PoP ids of ISP-B or link indices with flow indices.
+///
+/// The underlying value is a 32-bit signed integer; negative values are
+/// reserved for "invalid" sentinels (see `invalid()`).
+template <typename Tag>
+class StrongId {
+ public:
+  using value_type = std::int32_t;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(value_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  [[nodiscard]] static constexpr StrongId invalid() { return StrongId{-1}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  value_type value_ = -1;
+};
+
+}  // namespace nexit::util
+
+namespace std {
+template <typename Tag>
+struct hash<nexit::util::StrongId<Tag>> {
+  size_t operator()(nexit::util::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace nexit::util {
+
+/// Lightweight error type: a code-free message. Parsing and protocol layers
+/// return Result<T> instead of throwing so that malformed remote input is an
+/// ordinary control-flow path, not an exception.
+struct Error {
+  std::string message;
+};
+
+/// Minimal expected-like result (C++20 has no std::expected).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : data_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Helper for building error results tersely.
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace nexit::util

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "bgp/decision.hpp"
+#include "bgp/prefix.hpp"
+#include "bgp/route.hpp"
+
+namespace nexit::bgp {
+namespace {
+
+TEST(Prefix, ParseAndToString) {
+  auto p = Prefix::parse("10.12.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_EQ(p->to_string(), "10.12.0.0/16");
+}
+
+TEST(Prefix, ParseMasksHostBits) {
+  auto p = Prefix::parse("10.12.255.255/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "10.12.0.0/16");
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::parse("256.0.0.0/8").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/8 junk").has_value());
+}
+
+TEST(Prefix, Containment) {
+  auto p8 = *Prefix::parse("10.0.0.0/8");
+  auto p16 = *Prefix::parse("10.12.0.0/16");
+  auto other = *Prefix::parse("11.0.0.0/8");
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_FALSE(p8.contains(other));
+  EXPECT_TRUE(p16.more_specific_than(p8));
+  EXPECT_FALSE(p8.more_specific_than(p16));
+  EXPECT_TRUE(p8.contains(0x0a010203u));
+  EXPECT_FALSE(p8.contains(0x0b010203u));
+}
+
+TEST(Prefix, DefaultRouteContainsEverything) {
+  auto def = *Prefix::parse("0.0.0.0/0");
+  EXPECT_TRUE(def.contains(0xffffffffu));
+  EXPECT_TRUE(def.contains(*Prefix::parse("10.0.0.0/8")));
+}
+
+TEST(Route, Prepending) {
+  Route r;
+  r.as_path = {7018, 1239};
+  Route p = r.with_prepended(7018, 2);
+  EXPECT_EQ(p.as_path, (std::vector<std::uint32_t>{7018, 7018, 7018, 1239}));
+  EXPECT_EQ(r.as_path.size(), 2u);  // original untouched
+  EXPECT_THROW(r.with_prepended(1, -1), std::invalid_argument);
+}
+
+TEST(Policy, LocalPrefOrdering) {
+  EXPECT_GT(default_local_pref(Relationship::kCustomer),
+            default_local_pref(Relationship::kPeer));
+  EXPECT_GT(default_local_pref(Relationship::kPeer),
+            default_local_pref(Relationship::kProvider));
+}
+
+TEST(Policy, ValleyFreeExport) {
+  // Customer routes go everywhere.
+  EXPECT_TRUE(should_export(Relationship::kCustomer, Relationship::kPeer));
+  EXPECT_TRUE(should_export(Relationship::kCustomer, Relationship::kProvider));
+  // Peer/provider routes only to customers.
+  EXPECT_TRUE(should_export(Relationship::kPeer, Relationship::kCustomer));
+  EXPECT_FALSE(should_export(Relationship::kPeer, Relationship::kPeer));
+  EXPECT_FALSE(should_export(Relationship::kProvider, Relationship::kPeer));
+  EXPECT_FALSE(should_export(Relationship::kProvider, Relationship::kProvider));
+}
+
+Route mk(std::uint32_t lp, std::size_t path_len, std::uint32_t med,
+         double igp, std::uint32_t neighbor, std::uint32_t rid) {
+  Route r;
+  r.prefix = *Prefix::parse("10.0.0.0/8");
+  r.local_pref = lp;
+  r.as_path.assign(path_len, 1);
+  r.med = med;
+  r.igp_cost = igp;
+  r.neighbor_as = neighbor;
+  r.router_id = rid;
+  return r;
+}
+
+TEST(Decision, LocalPrefDominates) {
+  std::vector<Route> rs{mk(100, 1, 0, 0, 1, 1), mk(200, 5, 9, 9, 1, 2)};
+  EXPECT_EQ(best_route(rs), 1u);
+}
+
+TEST(Decision, ShorterAsPathWins) {
+  std::vector<Route> rs{mk(100, 3, 0, 0, 1, 1), mk(100, 2, 9, 9, 1, 2)};
+  EXPECT_EQ(best_route(rs), 1u);
+}
+
+TEST(Decision, PrependingDefeatsPath) {
+  // Prepending is how the downstream de-prefers a link (paper §2.1).
+  Route a = mk(100, 2, 0, 0.0, 1, 1);
+  Route b = mk(100, 2, 0, 5.0, 1, 2);
+  // a would win on IGP cost... make b the short one and prepend a.
+  std::vector<Route> rs{a.with_prepended(42, 2), b};
+  EXPECT_EQ(best_route(rs), 1u);
+}
+
+TEST(Decision, MedComparedOnlyWithinNeighbor) {
+  // Same neighbor: lower MED wins despite worse IGP.
+  std::vector<Route> same{mk(100, 1, 5, 0.0, 7, 1), mk(100, 1, 2, 9.0, 7, 2)};
+  EXPECT_EQ(best_route(same), 1u);
+  // Different neighbors: MED skipped, IGP (hot potato) decides.
+  std::vector<Route> diff{mk(100, 1, 5, 0.0, 7, 1), mk(100, 1, 2, 9.0, 8, 2)};
+  EXPECT_EQ(best_route(diff), 0u);
+  // Unless always_compare_med is on (honoring MEDs = late exit).
+  DecisionConfig honor;
+  honor.always_compare_med = true;
+  EXPECT_EQ(best_route(diff, honor), 1u);
+}
+
+TEST(Decision, IgpCostIsHotPotato) {
+  std::vector<Route> rs{mk(100, 1, 0, 3.0, 1, 1), mk(100, 1, 0, 1.0, 2, 2)};
+  EXPECT_EQ(best_route(rs), 1u);  // early-exit: nearest exit wins
+}
+
+TEST(Decision, RouterIdBreaksFinalTie) {
+  std::vector<Route> rs{mk(100, 1, 0, 1.0, 1, 9), mk(100, 1, 0, 1.0, 2, 3)};
+  EXPECT_EQ(best_route(rs), 1u);
+}
+
+TEST(Decision, EmptyThrows) {
+  EXPECT_THROW(best_route({}), std::invalid_argument);
+}
+
+TEST(RibIn, AddWithdrawBest) {
+  RibIn rib;
+  auto p = *Prefix::parse("10.0.0.0/8");
+  Route r1 = mk(100, 1, 0, 5.0, 7, 1);
+  r1.prefix = p;
+  r1.exit_id = 1;
+  Route r2 = mk(100, 1, 0, 2.0, 7, 2);
+  r2.prefix = p;
+  r2.exit_id = 2;
+  rib.add_route(r1);
+  rib.add_route(r2);
+  ASSERT_TRUE(rib.best(p).has_value());
+  EXPECT_EQ(rib.best(p)->exit_id, 2u);  // hot potato
+
+  rib.withdraw(p, 7, 2);  // interconnection 2 fails
+  ASSERT_TRUE(rib.best(p).has_value());
+  EXPECT_EQ(rib.best(p)->exit_id, 1u);
+
+  rib.withdraw(p, 7, 1);
+  EXPECT_FALSE(rib.best(p).has_value());
+  EXPECT_EQ(rib.prefix_count(), 0u);
+}
+
+TEST(RibIn, ReplaceOnReadvertise) {
+  RibIn rib;
+  auto p = *Prefix::parse("10.0.0.0/8");
+  Route r = mk(100, 1, 0, 5.0, 7, 1);
+  r.prefix = p;
+  r.exit_id = 1;
+  rib.add_route(r);
+  r.igp_cost = 1.0;
+  rib.add_route(r);  // same (neighbor, exit): replaces
+  EXPECT_EQ(rib.candidates(p).size(), 1u);
+  EXPECT_DOUBLE_EQ(rib.candidates(p)[0].igp_cost, 1.0);
+}
+
+TEST(RibIn, NegotiatedLocalPrefOverrideWins) {
+  // §6: once a path is negotiated, the ISP implements it with local-pref.
+  RibIn rib;
+  auto p = *Prefix::parse("10.0.0.0/8");
+  Route near = mk(100, 1, 0, 1.0, 7, 1);
+  near.prefix = p;
+  near.exit_id = 1;
+  Route far = mk(100, 1, 0, 9.0, 7, 2);
+  far.prefix = p;
+  far.exit_id = 2;
+  rib.add_route(near);
+  rib.add_route(far);
+  EXPECT_EQ(rib.best(p)->exit_id, 1u);  // early exit by default
+  rib.apply_local_pref_override(p, 2, 500);
+  EXPECT_EQ(rib.best(p)->exit_id, 2u);  // negotiated exit now wins
+  EXPECT_THROW(rib.apply_local_pref_override(p, 99, 500), std::invalid_argument);
+  EXPECT_THROW(
+      rib.apply_local_pref_override(*Prefix::parse("99.0.0.0/8"), 1, 500),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nexit::bgp

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "capacity/capacity.hpp"
+#include "test_topologies.hpp"
+
+namespace nexit::capacity {
+namespace {
+
+routing::LoadMap loads_with(std::vector<double> a, std::vector<double> b) {
+  routing::LoadMap m;
+  m.per_side[0] = std::move(a);
+  m.per_side[1] = std::move(b);
+  return m;
+}
+
+TEST(Capacity, ProportionalToLoadAboveMedian) {
+  // Loads 10, 20, 30: median 20. With upgrade, 10 -> 20.
+  auto caps = assign_capacities(loads_with({10, 20, 30}, {}), CapacityConfig{});
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 20.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][1], 20.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][2], 30.0);
+}
+
+TEST(Capacity, NoUpgradeKeepsRawLoads) {
+  CapacityConfig cfg;
+  cfg.upgrade_below_median = false;
+  auto caps = assign_capacities(loads_with({10, 20, 30}, {}), cfg);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 10.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][1], 20.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][2], 30.0);
+}
+
+TEST(Capacity, UnusedLinksGetMedianOfLoaded) {
+  auto caps = assign_capacities(loads_with({0, 10, 30}, {}), CapacityConfig{});
+  // Loaded links: 10, 30 -> median 20. Unused link gets 20.
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 20.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][1], 20.0);  // upgraded to median
+  EXPECT_DOUBLE_EQ(caps.per_side[0][2], 30.0);
+}
+
+TEST(Capacity, UnusedRuleMeanAndMax) {
+  CapacityConfig mean_cfg;
+  mean_cfg.unused_rule = UnusedLinkRule::kMean;
+  mean_cfg.upgrade_below_median = false;
+  auto caps = assign_capacities(loads_with({0, 10, 30}, {}), mean_cfg);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 20.0);
+
+  CapacityConfig max_cfg;
+  max_cfg.unused_rule = UnusedLinkRule::kMax;
+  max_cfg.upgrade_below_median = false;
+  caps = assign_capacities(loads_with({0, 10, 30}, {}), max_cfg);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 30.0);
+}
+
+TEST(Capacity, PowerOfTwoRounding) {
+  CapacityConfig cfg;
+  cfg.upgrade_below_median = false;
+  cfg.round_up_power_of_two = true;
+  auto caps = assign_capacities(loads_with({3, 5, 9}, {}), cfg);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 4.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][1], 8.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][2], 16.0);
+}
+
+TEST(Capacity, AllZeroSideGetsUnitCapacity) {
+  auto caps = assign_capacities(loads_with({0, 0}, {5}), CapacityConfig{});
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[0][1], 1.0);
+  EXPECT_DOUBLE_EQ(caps.per_side[1][0], 5.0);
+}
+
+TEST(Capacity, AllCapacitiesPositive) {
+  auto caps = assign_capacities(
+      loads_with({0, 1, 2, 0, 7}, {0, 0, 3}), CapacityConfig{});
+  for (int s = 0; s < 2; ++s)
+    for (double c : caps.per_side[s]) EXPECT_GT(c, 0.0);
+}
+
+TEST(Capacity, SidesAreIndependent) {
+  auto caps = assign_capacities(loads_with({100, 200}, {1, 2}), CapacityConfig{});
+  EXPECT_DOUBLE_EQ(caps.per_side[0][0], 150.0);  // median of {100,200}
+  EXPECT_DOUBLE_EQ(caps.per_side[1][0], 1.5);
+}
+
+}  // namespace
+}  // namespace nexit::capacity

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "metrics/metrics.hpp"
+#include "test_topologies.hpp"
+
+namespace nexit::core {
+namespace {
+
+using testing::figure1_pair;
+using testing::make_flow;
+using traffic::Direction;
+
+const std::vector<std::size_t> kAll{0, 1, 2};
+
+struct Fixture {
+  topology::IspPair pair = figure1_pair();
+  routing::PairRouting routing{pair};
+  // Opposite-direction pair between a0 and b2 plus an unpaired flow.
+  std::vector<traffic::Flow> flows{make_flow(0, Direction::kAtoB, 0, 2),
+                                   make_flow(1, Direction::kBtoA, 2, 0),
+                                   make_flow(2, Direction::kAtoB, 1, 1)};
+  routing::Assignment defaults{routing::assign_early_exit(routing, flows, kAll)};
+};
+
+TEST(FlowPairBaselines, BothBetterNeverHurtsEitherIsp) {
+  Fixture fx;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    auto a = flow_pair_strategy(fx.routing, fx.flows, kAll, fx.defaults,
+                                FlowPairStrategy::kFlowBothBetter, rng);
+    for (int side = 0; side < 2; ++side) {
+      EXPECT_LE(metrics::side_flow_km(fx.routing, fx.flows, a, side),
+                metrics::side_flow_km(fx.routing, fx.flows, fx.defaults, side) +
+                    1e-9)
+          << "seed " << seed << " side " << side;
+    }
+  }
+}
+
+TEST(FlowPairBaselines, ParetoNeverWorseForBoth) {
+  Fixture fx;
+  // km of the paired flows inside each ISP under default.
+  auto pair_km = [&](const routing::Assignment& a, int side) {
+    return fx.flows[0].size * fx.routing.km_in_side(fx.flows[0], a.ix_of_flow[0], side) +
+           fx.flows[1].size * fx.routing.km_in_side(fx.flows[1], a.ix_of_flow[1], side);
+  };
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed);
+    auto a = flow_pair_strategy(fx.routing, fx.flows, kAll, fx.defaults,
+                                FlowPairStrategy::kFlowPareto, rng);
+    const bool worse_a = pair_km(a, 0) > pair_km(fx.defaults, 0) + 1e-9;
+    const bool worse_b = pair_km(a, 1) > pair_km(fx.defaults, 1) + 1e-9;
+    EXPECT_FALSE(worse_a && worse_b) << "seed " << seed;
+  }
+}
+
+TEST(FlowPairBaselines, UnpairedFlowsKeepDefault) {
+  Fixture fx;
+  util::Rng rng(3);
+  auto a = flow_pair_strategy(fx.routing, fx.flows, kAll, fx.defaults,
+                              FlowPairStrategy::kFlowPareto, rng);
+  EXPECT_EQ(a.ix_of_flow[2], fx.defaults.ix_of_flow[2]);
+}
+
+TEST(FlowPairBaselines, DeterministicGivenSeed) {
+  Fixture fx;
+  util::Rng r1(42), r2(42);
+  auto a1 = flow_pair_strategy(fx.routing, fx.flows, kAll, fx.defaults,
+                               FlowPairStrategy::kFlowPareto, r1);
+  auto a2 = flow_pair_strategy(fx.routing, fx.flows, kAll, fx.defaults,
+                               FlowPairStrategy::kFlowPareto, r2);
+  EXPECT_EQ(a1.ix_of_flow, a2.ix_of_flow);
+}
+
+TEST(FlowPairBaselines, InputValidation) {
+  Fixture fx;
+  util::Rng rng(1);
+  EXPECT_THROW(flow_pair_strategy(fx.routing, fx.flows, {}, fx.defaults,
+                                  FlowPairStrategy::kFlowPareto, rng),
+               std::invalid_argument);
+  routing::Assignment bad{{0}};
+  EXPECT_THROW(flow_pair_strategy(fx.routing, fx.flows, kAll, bad,
+                                  FlowPairStrategy::kFlowPareto, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nexit::core

@@ -1,0 +1,197 @@
+// Property tests of the negotiation engine on generated scenarios, swept
+// over seeds with TEST_P. These pin the semantic guarantees the experiments
+// rely on:
+//   * win-win: neither ISP ends below its default in its own exact metric
+//     (the Fig. 4b no-loss property), for every acceptance policy, with and
+//     without a cheater on the other side;
+//   * optimal bound: negotiated total distance never beats the per-flow
+//     optimum and never loses to the default;
+//   * determinism: identical seeds give identical outcomes;
+//   * settlement: after rollback, cumulative true gains are >= 0 and every
+//     rolled-back flow sits on its default.
+
+#include <gtest/gtest.h>
+
+#include "capacity/capacity.hpp"
+#include "core/cheating.hpp"
+#include "core/engine.hpp"
+#include "core/oracles.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/pair_universe.hpp"
+#include "traffic/traffic.hpp"
+
+namespace nexit::core {
+namespace {
+
+class DistanceProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    sim::UniverseConfig u;
+    u.isp_count = 16;
+    u.seed = GetParam();
+    u.max_pairs = 1;
+    auto pairs = sim::build_pair_universe(u, 2);
+    ASSERT_FALSE(pairs.empty());
+    pair_ = std::make_unique<topology::IspPair>(std::move(pairs.front()));
+    routing_ = std::make_unique<routing::PairRouting>(*pair_);
+    util::Rng rng(GetParam() * 31 + 1);
+    traffic::TrafficConfig tcfg;
+    tcfg.model = traffic::WorkloadModel::kIdentical;
+    tm_ = std::make_unique<traffic::TrafficMatrix>(
+        traffic::TrafficMatrix::build_bidirectional(*pair_, tcfg, rng));
+    candidates_.resize(pair_->interconnection_count());
+    for (std::size_t i = 0; i < candidates_.size(); ++i) candidates_[i] = i;
+    problem_ = make_distance_problem(*routing_, tm_->flows(), candidates_);
+  }
+
+  NegotiationOutcome run(AcceptancePolicy acceptance, int cheater = -1,
+                         std::uint64_t seed = 9) {
+    PreferenceConfig pc;
+    DistanceOracle a(0, pc), b(1, pc);
+    CheatingOracle ca(a, pc.range), cb(b, pc.range);
+    PreferenceOracle& oa = cheater == 0 ? static_cast<PreferenceOracle&>(ca) : a;
+    PreferenceOracle& ob = cheater == 1 ? static_cast<PreferenceOracle&>(cb) : b;
+    NegotiationConfig cfg;
+    cfg.acceptance = acceptance;
+    cfg.seed = seed;
+    NegotiationEngine engine(problem_, oa, ob, cfg);
+    return engine.run();
+  }
+
+  std::unique_ptr<topology::IspPair> pair_;
+  std::unique_ptr<routing::PairRouting> routing_;
+  std::unique_ptr<traffic::TrafficMatrix> tm_;
+  std::vector<std::size_t> candidates_;
+  NegotiationProblem problem_;
+};
+
+TEST_P(DistanceProperties, NoLossInOwnMetricUnderAnyAcceptancePolicy) {
+  for (AcceptancePolicy acc :
+       {AcceptancePolicy::kProtective, AcceptancePolicy::kAlwaysAccept,
+        AcceptancePolicy::kVetoOwnLoss}) {
+    const auto out = run(acc);
+    // Exact-metric cumulative gains are never negative after settlement...
+    EXPECT_GE(out.true_gain_a, -1e-6);
+    EXPECT_GE(out.true_gain_b, -1e-6);
+    // ...and they equal the measured km reduction inside each network.
+    for (int side = 0; side < 2; ++side) {
+      const double def = metrics::side_flow_km(*routing_, tm_->flows(),
+                                               problem_.default_assignment, side);
+      const double neg =
+          metrics::side_flow_km(*routing_, tm_->flows(), out.assignment, side);
+      const double gain = side == 0 ? out.true_gain_a : out.true_gain_b;
+      EXPECT_NEAR(def - neg, gain, 1e-6) << "side " << side;
+    }
+  }
+}
+
+TEST_P(DistanceProperties, TruthfulSideSafeAgainstCheater) {
+  const auto out = run(AcceptancePolicy::kProtective, /*cheater=*/0);
+  EXPECT_GE(out.true_gain_b, -1e-9);  // the truthful ISP never loses
+}
+
+TEST_P(DistanceProperties, BoundedByOptimalAndDefault) {
+  const auto out = run(AcceptancePolicy::kProtective);
+  const double def = metrics::total_flow_km(*routing_, tm_->flows(),
+                                            problem_.default_assignment);
+  const double neg =
+      metrics::total_flow_km(*routing_, tm_->flows(), out.assignment);
+  const auto optimal =
+      routing::assign_min_total_km(*routing_, tm_->flows(), candidates_);
+  const double opt = metrics::total_flow_km(*routing_, tm_->flows(), optimal);
+  EXPECT_LE(opt, neg + 1e-9);
+  EXPECT_LE(neg, def + 1e-9);
+}
+
+TEST_P(DistanceProperties, DeterministicGivenSeed) {
+  const auto out1 = run(AcceptancePolicy::kProtective, -1, 123);
+  const auto out2 = run(AcceptancePolicy::kProtective, -1, 123);
+  EXPECT_EQ(out1.assignment.ix_of_flow, out2.assignment.ix_of_flow);
+  EXPECT_EQ(out1.rounds, out2.rounds);
+  EXPECT_DOUBLE_EQ(out1.true_gain_a, out2.true_gain_a);
+}
+
+TEST_P(DistanceProperties, RolledBackFlowsSitOnDefaults) {
+  NegotiationConfig cfg;
+  cfg.acceptance = AcceptancePolicy::kAlwaysAccept;  // stress the settlement
+  cfg.record_trace = true;
+  PreferenceConfig pc;
+  DistanceOracle a(0, pc), b(1, pc);
+  NegotiationEngine engine(problem_, a, b, cfg);
+  const auto out = engine.run();
+  EXPECT_GE(out.true_gain_a, -1e-6);
+  EXPECT_GE(out.true_gain_b, -1e-6);
+  // flows_moved counts pre-settlement moves; the final assignment may have
+  // fewer non-default entries, never more.
+  std::size_t non_default = 0;
+  for (std::size_t i = 0; i < tm_->size(); ++i)
+    if (out.assignment.ix_of_flow[i] != problem_.default_assignment.ix_of_flow[i])
+      ++non_default;
+  EXPECT_LE(non_default + out.flows_rolled_back, out.flows_moved + out.flows_rolled_back);
+  EXPECT_LE(non_default, out.flows_moved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistanceProperties,
+                         ::testing::Values(2, 5, 8, 13, 21, 34, 55, 89));
+
+class BandwidthProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthProperties, NoLossAndMelSanityAfterFailure) {
+  sim::UniverseConfig u;
+  u.isp_count = 20;
+  u.seed = GetParam();
+  u.max_pairs = 1;
+  auto pairs = sim::build_pair_universe(u, 3);
+  if (pairs.empty()) GTEST_SKIP() << "no 3-link pair for this seed";
+  const topology::IspPair& pair = pairs.front();
+  routing::PairRouting routing(pair);
+  util::Rng rng(GetParam());
+  auto tm = traffic::TrafficMatrix::build(pair, traffic::Direction::kAtoB,
+                                          traffic::TrafficConfig{}, rng);
+  std::vector<std::size_t> all_ix(pair.interconnection_count());
+  for (std::size_t i = 0; i < all_ix.size(); ++i) all_ix[i] = i;
+  auto pre = routing::assign_early_exit(routing, tm.flows(), all_ix);
+  auto caps = capacity::assign_capacities(
+      routing::compute_loads(routing, tm.flows(), pre),
+      capacity::CapacityConfig{});
+
+  for (std::size_t failed = 0; failed < pair.interconnection_count(); ++failed) {
+    NegotiationProblem problem;
+    try {
+      problem = make_failure_problem(routing, tm.flows(), failed);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    if (problem.negotiable.empty()) continue;
+
+    PreferenceConfig pc;
+    BandwidthOracle a(0, pc, caps), b(1, pc, caps);
+    NegotiationConfig cfg;
+    cfg.reassign_traffic_fraction = 0.05;
+    NegotiationEngine engine(problem, a, b, cfg);
+    const auto out = engine.run();
+
+    // No-loss holds in the bandwidth metric too (gains are in the oracle's
+    // own units, so just check the sign).
+    EXPECT_GE(out.true_gain_a, -1e-6);
+    EXPECT_GE(out.true_gain_b, -1e-6);
+
+    // The negotiated assignment only moves negotiable flows.
+    for (std::size_t i = 0; i < tm.size(); ++i) {
+      const bool negotiable =
+          std::find(problem.negotiable.begin(), problem.negotiable.end(), i) !=
+          problem.negotiable.end();
+      if (!negotiable)
+        EXPECT_EQ(out.assignment.ix_of_flow[i],
+                  problem.default_assignment.ix_of_flow[i]);
+      else
+        EXPECT_NE(out.assignment.ix_of_flow[i], failed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthProperties,
+                         ::testing::Values(3, 7, 19, 43, 101));
+
+}  // namespace
+}  // namespace nexit::core

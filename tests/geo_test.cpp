@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "geo/city_db.hpp"
+#include "geo/coord.hpp"
+
+namespace nexit::geo {
+namespace {
+
+TEST(Haversine, ZeroForSamePoint) {
+  Coord c{47.61, -122.33};
+  EXPECT_DOUBLE_EQ(haversine_km(c, c), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  Coord a{40.71, -74.01}, b{34.05, -118.24};
+  EXPECT_DOUBLE_EQ(haversine_km(a, b), haversine_km(b, a));
+}
+
+TEST(Haversine, KnownDistanceNycToLa) {
+  // Great-circle NYC-LA is ~3940 km.
+  Coord nyc{40.71, -74.01}, la{34.05, -118.24};
+  EXPECT_NEAR(haversine_km(nyc, la), 3940.0, 40.0);
+}
+
+TEST(Haversine, KnownDistanceLondonToParis) {
+  Coord london{51.51, -0.13}, paris{48.86, 2.35};
+  EXPECT_NEAR(haversine_km(london, paris), 343.0, 10.0);
+}
+
+TEST(Haversine, AntipodalIsHalfCircumference) {
+  Coord a{0.0, 0.0}, b{0.0, 180.0};
+  EXPECT_NEAR(haversine_km(a, b), 20015.0, 10.0);
+}
+
+TEST(Haversine, TriangleInequalityOnSamples) {
+  Coord xs[] = {{40.71, -74.01}, {34.05, -118.24}, {41.88, -87.63},
+                {51.51, -0.13}, {35.68, 139.69}};
+  for (const auto& a : xs)
+    for (const auto& b : xs)
+      for (const auto& c : xs)
+        EXPECT_LE(haversine_km(a, c), haversine_km(a, b) + haversine_km(b, c) + 1e-6);
+}
+
+TEST(CityDb, BuiltinNonEmptyAndPositivePopulations) {
+  const CityDb& db = CityDb::builtin();
+  EXPECT_GE(db.size(), 100u);
+  for (const auto& c : db.cities()) {
+    EXPECT_GT(c.population_millions, 0.0) << c.name;
+    EXPECT_GE(c.coord.lat_deg, -90.0);
+    EXPECT_LE(c.coord.lat_deg, 90.0);
+    EXPECT_GE(c.coord.lon_deg, -180.0);
+    EXPECT_LE(c.coord.lon_deg, 180.0);
+  }
+}
+
+TEST(CityDb, NamesAreUnique) {
+  const CityDb& db = CityDb::builtin();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    const auto found = db.find(db.at(i).name);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, i) << "duplicate city name " << db.at(i).name;
+  }
+}
+
+TEST(CityDb, FindMissingReturnsNullopt) {
+  EXPECT_FALSE(CityDb::builtin().find("Atlantis").has_value());
+}
+
+TEST(CityDb, TotalPopulationIsSum) {
+  const CityDb& db = CityDb::builtin();
+  double sum = 0.0;
+  for (const auto& c : db.cities()) sum += c.population_millions;
+  EXPECT_DOUBLE_EQ(db.total_population(), sum);
+}
+
+TEST(CityDb, EmptyListThrows) {
+  EXPECT_THROW(CityDb({}), std::invalid_argument);
+}
+
+TEST(CityDb, NonPositivePopulationThrows) {
+  EXPECT_THROW(CityDb({City{"X", {0, 0}, 0.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nexit::geo

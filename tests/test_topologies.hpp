@@ -1,0 +1,81 @@
+#pragma once
+
+// Hand-built miniature topologies shared by routing/metrics/core/sim tests.
+// Geometry is chosen so expected distances are easy to verify by hand: PoPs
+// sit on the equator, where 1 degree of longitude is ~111.19 km.
+
+#include <vector>
+
+#include "topology/isp_topology.hpp"
+#include "traffic/traffic.hpp"
+
+namespace nexit::testing {
+
+inline constexpr double kDegKm = 111.19492664455873;  // km per degree at equator
+
+struct PopSpec {
+  std::size_t city_index;
+  double lat;
+  double lon;
+};
+
+struct EdgeSpec {
+  int u;
+  int v;
+  double weight;
+  double length_km;
+};
+
+inline topology::IspTopology make_isp(std::int32_t asn,
+                                      const std::vector<PopSpec>& pops,
+                                      const std::vector<EdgeSpec>& edges) {
+  std::vector<topology::Pop> ps;
+  graph::Graph g(pops.size());
+  for (std::size_t i = 0; i < pops.size(); ++i) {
+    ps.push_back(topology::Pop{topology::PopId{static_cast<std::int32_t>(i)},
+                               pops[i].city_index,
+                               "c" + std::to_string(pops[i].city_index),
+                               geo::Coord{pops[i].lat, pops[i].lon}, 1.0});
+  }
+  for (const auto& e : edges)
+    g.add_edge(e.u, e.v, e.weight, e.length_km);
+  return topology::IspTopology{topology::AsNumber{asn},
+                               "AS" + std::to_string(asn), std::move(ps),
+                               std::move(g)};
+}
+
+/// Figure-1-style pair. Both ISPs span cities 0,1,2 (lon 0, 10, 20 on the
+/// equator), with three interconnections. ISP A's backbone is uniform
+/// (each hop weight/length 100). ISP B's right-hand segment is a long detour
+/// (weight/length 300), so entering B on the left to reach the right is
+/// expensive. All link weights equal lengths.
+///
+///   A:  a0 --100-- a1 --100-- a2
+///        |          |          |      (interconnections at cities 0,1,2)
+///   B:  b0 --100-- b1 --300-- b2
+inline topology::IspPair figure1_pair() {
+  auto a = make_isp(1,
+                    {{0, 0.0, 0.0}, {1, 0.0, 10.0}, {2, 0.0, 20.0}},
+                    {{0, 1, 100, 100}, {1, 2, 100, 100}});
+  auto b = make_isp(2,
+                    {{0, 0.1, 0.0}, {1, 0.1, 10.0}, {2, 0.1, 20.0}},
+                    {{0, 1, 100, 100}, {1, 2, 300, 300}});
+  auto pair = topology::make_pair_if_peers(a, b, 3);
+  if (!pair) throw std::logic_error("figure1_pair: expected 3 interconnections");
+  return *std::move(pair);
+}
+
+/// Flow helper.
+inline traffic::Flow make_flow(std::int32_t id, traffic::Direction dir,
+                               std::int32_t src, std::int32_t dst,
+                               double size = 1.0) {
+  traffic::Flow f;
+  f.id = traffic::FlowId{id};
+  f.direction = dir;
+  f.src = topology::PopId{src};
+  f.dst = topology::PopId{dst};
+  f.size = size;
+  return f;
+}
+
+}  // namespace nexit::testing

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "test_topologies.hpp"
+#include "traffic/traffic.hpp"
+
+namespace nexit::traffic {
+namespace {
+
+using testing::figure1_pair;
+
+TEST(TrafficMatrix, OneFlowPerPopPairPerDirection) {
+  auto pair = figure1_pair();
+  util::Rng rng(1);
+  TrafficConfig cfg;
+  auto tm = TrafficMatrix::build(pair, Direction::kAtoB, cfg, rng);
+  EXPECT_EQ(tm.size(), pair.a().pop_count() * pair.b().pop_count());
+  auto both = TrafficMatrix::build_bidirectional(pair, cfg, rng);
+  EXPECT_EQ(both.size(), 2 * pair.a().pop_count() * pair.b().pop_count());
+}
+
+TEST(TrafficMatrix, FlowIdsMatchIndices) {
+  auto pair = figure1_pair();
+  util::Rng rng(1);
+  auto tm = TrafficMatrix::build_bidirectional(pair, TrafficConfig{}, rng);
+  for (std::size_t i = 0; i < tm.size(); ++i) {
+    EXPECT_EQ(tm.flows()[i].id.value(), static_cast<std::int32_t>(i));
+    EXPECT_EQ(&tm.flow(FlowId{static_cast<std::int32_t>(i)}), &tm.flows()[i]);
+  }
+}
+
+TEST(TrafficMatrix, VolumeNormalisedPerDirection) {
+  auto pair = figure1_pair();
+  util::Rng rng(2);
+  TrafficConfig cfg;
+  cfg.total_volume_per_direction = 500.0;
+  auto tm = TrafficMatrix::build(pair, Direction::kAtoB, cfg, rng);
+  EXPECT_NEAR(tm.total_volume(), 500.0, 1e-9);
+  auto both = TrafficMatrix::build_bidirectional(pair, cfg, rng);
+  EXPECT_NEAR(both.total_volume(), 1000.0, 1e-9);
+}
+
+TEST(TrafficMatrix, DirectionsAreLabelled) {
+  auto pair = figure1_pair();
+  util::Rng rng(3);
+  auto both = TrafficMatrix::build_bidirectional(pair, TrafficConfig{}, rng);
+  std::size_t a2b = 0, b2a = 0;
+  for (const auto& f : both.flows()) {
+    (f.direction == Direction::kAtoB ? a2b : b2a)++;
+    EXPECT_GT(f.size, 0.0);
+  }
+  EXPECT_EQ(a2b, 9u);
+  EXPECT_EQ(b2a, 9u);
+}
+
+TEST(TrafficMatrix, IdenticalModelGivesEqualSizes) {
+  auto pair = figure1_pair();
+  util::Rng rng(4);
+  TrafficConfig cfg;
+  cfg.model = WorkloadModel::kIdentical;
+  auto tm = TrafficMatrix::build(pair, Direction::kAtoB, cfg, rng);
+  for (const auto& f : tm.flows())
+    EXPECT_NEAR(f.size, tm.flows()[0].size, 1e-12);
+}
+
+TEST(TrafficMatrix, GravityModelSkewsTowardPopulousCities) {
+  // Build a pair where one city is 10x more populous; gravity flows touching
+  // it must be larger.
+  const auto& db = geo::CityDb::builtin();
+  // Find a big and a small city by population.
+  std::size_t big = 0, small = 0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (db.at(i).population_millions > db.at(big).population_millions) big = i;
+    if (db.at(i).population_millions < db.at(small).population_millions) small = i;
+  }
+  ASSERT_GT(db.at(big).population_millions, 5 * db.at(small).population_millions);
+
+  auto mk = [&](std::int32_t asn) {
+    std::vector<topology::Pop> pops{
+        topology::Pop{topology::PopId{0}, big, db.at(big).name, db.at(big).coord,
+                      db.at(big).population_millions},
+        topology::Pop{topology::PopId{1}, small, db.at(small).name,
+                      db.at(small).coord, db.at(small).population_millions}};
+    graph::Graph g(2);
+    g.add_edge(0, 1, 1.0, 100.0);
+    return topology::IspTopology(topology::AsNumber{asn}, "G", std::move(pops),
+                                 std::move(g));
+  };
+  auto pair_opt = topology::make_pair_if_peers(mk(1), mk(2), 2);
+  ASSERT_TRUE(pair_opt.has_value());
+
+  util::Rng rng(5);
+  auto tm = TrafficMatrix::build(*pair_opt, Direction::kAtoB, TrafficConfig{}, rng);
+  // flow 0: big->big, flow 3: small->small.
+  EXPECT_GT(tm.flows()[0].size, tm.flows()[3].size * 10);
+}
+
+TEST(TrafficMatrix, UniformRandomDeterministicGivenSeed) {
+  auto pair = figure1_pair();
+  TrafficConfig cfg;
+  cfg.model = WorkloadModel::kUniformRandom;
+  util::Rng r1(99), r2(99);
+  auto t1 = TrafficMatrix::build(pair, Direction::kAtoB, cfg, r1);
+  auto t2 = TrafficMatrix::build(pair, Direction::kAtoB, cfg, r2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i)
+    EXPECT_DOUBLE_EQ(t1.flows()[i].size, t2.flows()[i].size);
+}
+
+TEST(SideHelpers, UpstreamDownstream) {
+  EXPECT_EQ(upstream_side(Direction::kAtoB), 0);
+  EXPECT_EQ(downstream_side(Direction::kAtoB), 1);
+  EXPECT_EQ(upstream_side(Direction::kBtoA), 1);
+  EXPECT_EQ(downstream_side(Direction::kBtoA), 0);
+}
+
+}  // namespace
+}  // namespace nexit::traffic

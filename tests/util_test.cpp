@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace nexit::util {
+namespace {
+
+struct FooTag {};
+struct BarTag {};
+using FooId = StrongId<FooTag>;
+using BarId = StrongId<BarTag>;
+
+TEST(StrongId, DefaultIsInvalid) {
+  FooId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, FooId::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  FooId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42);
+}
+
+TEST(StrongId, Comparisons) {
+  EXPECT_LT(FooId{1}, FooId{2});
+  EXPECT_NE(FooId{1}, FooId{2});
+  EXPECT_EQ(FooId{7}, FooId{7});
+}
+
+TEST(StrongId, DistinctTagsDoNotConvert) {
+  static_assert(!std::is_convertible_v<FooId, BarId>);
+  static_assert(!std::is_convertible_v<int, FooId>);
+}
+
+TEST(StrongId, Hashable) {
+  std::set<FooId> s{FooId{1}, FooId{2}, FooId{1}};
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(13), 13u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.next_gaussian());
+  EXPECT_NEAR(mean(xs), 0.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(5);
+  Rng c1 = a.fork();
+  Rng a2(5);
+  Rng c2 = a2.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Stats, MeanMedian) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+}
+
+TEST(Stats, MeanEmptyThrows) {
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Cdf, FractionLeq) {
+  Cdf c({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(c.fraction_leq(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_leq(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(c.fraction_leq(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_leq(10), 1.0);
+}
+
+TEST(Cdf, ValueAtInverse) {
+  Cdf c({10, 20, 30});
+  EXPECT_DOUBLE_EQ(c.value_at(0.0), 10);
+  EXPECT_DOUBLE_EQ(c.value_at(1.0), 30);
+  EXPECT_DOUBLE_EQ(c.value_at(0.5), 20);
+}
+
+TEST(Cdf, AddThenQuery) {
+  Cdf c;
+  c.add(3);
+  c.add(1);
+  c.add(2);
+  EXPECT_DOUBLE_EQ(c.min(), 1);
+  EXPECT_DOUBLE_EQ(c.max(), 3);
+  EXPECT_DOUBLE_EQ(c.value_at(0.5), 2);
+}
+
+TEST(Cdf, EmptyThrows) {
+  Cdf c;
+  EXPECT_THROW((void)c.value_at(0.5), std::logic_error);
+  EXPECT_THROW((void)c.min(), std::logic_error);
+}
+
+TEST(Cdf, FormatTableHasHeaderAndRows) {
+  Cdf a({1, 2, 3});
+  Cdf b({4, 5, 6});
+  const std::string t = format_cdf_table({"one", "two"}, {&a, &b}, {50.0, 90.0});
+  EXPECT_NE(t.find("one"), std::string::npos);
+  EXPECT_NE(t.find("two"), std::string::npos);
+  EXPECT_NE(t.find("50.0%"), std::string::npos);
+}
+
+TEST(Result, OkPath) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, ErrorPath) {
+  Result<int> r(make_error("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "boom");
+  EXPECT_THROW((void)r.value(), std::runtime_error);
+}
+
+TEST(Flags, ParsesEqualsAndBareForms) {
+  const char* argv[] = {"prog", "--pairs=20", "--seed=7", "--verbose", "pos"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("pairs", 0), 20);
+  EXPECT_EQ(f.get_int("seed", 0), 7);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_EQ(f.get_int("absent", -1), -1);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "pos");
+}
+
+TEST(Flags, DoubleAndString) {
+  const char* argv[] = {"prog", "--ratio=2.5", "--name=abc"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(f.get_string("name", ""), "abc");
+}
+
+}  // namespace
+}  // namespace nexit::util
