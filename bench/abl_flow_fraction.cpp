@@ -19,7 +19,10 @@ int main(int argc, char** argv) {
   sim::DistanceExperimentConfig cfg;
   cfg.universe = bench::universe_from_flags(flags);
   cfg.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 80));
+  cfg.negotiation = bench::negotiation_from_flags(flags);
   cfg.run_flow_pair_baselines = false;
+  cfg.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Ablation: fraction of flows moved",
                           "how many non-default routes are needed for the gain",

@@ -12,7 +12,10 @@ int main(int argc, char** argv) {
   sim::DistanceExperimentConfig base;
   base.universe = bench::universe_from_flags(flags);
   base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
+  base.negotiation = bench::negotiation_from_flags(flags);
   base.run_flow_pair_baselines = false;
+  base.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Ablation: group negotiation",
                           "negotiating in k separate groups vs the whole set",

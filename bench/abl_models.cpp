@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   base.negotiation = bench::negotiation_from_flags(flags);
   base.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
   base.include_unilateral = false;
+  base.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Ablation: alternate models (§5.2)",
                           "workload / capacity / metric sensitivity of Fig. 7",

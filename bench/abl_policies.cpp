@@ -15,7 +15,10 @@ int main(int argc, char** argv) {
   sim::DistanceExperimentConfig base;
   base.universe = bench::universe_from_flags(flags);
   base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
+  base.negotiation = bench::negotiation_from_flags(flags);
   base.run_flow_pair_baselines = false;
+  base.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Ablation: protocol policies",
                           "turn / termination / proposal policy comparison",

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   base.universe = bench::universe_from_flags(flags);
   base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
   base.run_flow_pair_baselines = false;
+  base.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Ablation: preference range P",
                           "negotiated gain as a function of the class range",

@@ -1,11 +1,22 @@
 #pragma once
 
 // Shared scaffolding for the figure-reproduction benches: flag parsing into
-// experiment configs and common printing. Every binary accepts:
+// experiment configs and common printing. Every universe-sweep binary
+// accepts:
 //   --isps=N --pairs=N --seed=S --pop-min=N --pop-max=N  (universe)
 //   --pref-range=P                                        (Nexit config)
-// plus figure-specific flags documented in each binary.
+//   --threads=N      (experiment worker threads; 0 = auto, default 1;
+//                     results are bit-identical for every value)
+// plus figure-specific flags documented in each binary. Two exceptions:
+// table3_example is a fixed worked example and only takes --seed, and
+// abl_pref_range sweeps the preference range itself so it does not take
+// --pref-range.
+//
+// Unknown flags are a hard error: after reading all its flags, each binary
+// calls reject_unknown_flags(), so a misspelled flag (--seeed=7) aborts with
+// a message instead of silently running the default configuration.
 
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -33,6 +44,27 @@ inline core::NegotiationConfig negotiation_from_flags(const util::Flags& flags) 
   cfg.acceptance = core::AcceptancePolicy::kProtective;
   cfg.preferences.range = static_cast<int>(flags.get_int("pref-range", 10));
   return cfg;
+}
+
+/// Worker-thread count for the experiment engines: `--threads=0` means
+/// auto-detect, `--threads=1` (the default) runs serially; any value yields
+/// bit-identical results. The 0 -> hardware mapping itself is owned by
+/// util::workers_for_threads. Malformed values abort inside
+/// Flags::get_int; the range check here keeps a fat-fingered count from
+/// exhausting std::thread construction.
+inline std::size_t threads_from_flags(const util::Flags& flags) {
+  const std::int64_t t = flags.get_int("threads", 1);
+  if (t < 0 || t > 1024) {
+    std::cerr << "error: --threads expects an integer in [0, 1024] "
+                 "(0 = auto-detect), got " << t << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(t);
+}
+
+/// Bench-facing name for util::reject_unknown; see its doc comment.
+inline void reject_unknown_flags(const util::Flags& flags) {
+  util::reject_unknown(flags);
 }
 
 inline std::string universe_summary(const sim::UniverseConfig& u) {

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   honest.universe = bench::universe_from_flags(flags);
   honest.negotiation = bench::negotiation_from_flags(flags);
   honest.run_flow_pair_baselines = false;
+  honest.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
   sim::DistanceExperimentConfig cheating = honest;
   cheating.cheater_side = 0;
 

@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   honest.negotiation = bench::negotiation_from_flags(flags);
   honest.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
   honest.include_unilateral = false;
+  honest.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
   sim::BandwidthExperimentConfig cheating = honest;
   cheating.upstream_cheats = true;
 

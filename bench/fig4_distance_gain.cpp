@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   cfg.universe = bench::universe_from_flags(flags);
   cfg.negotiation = bench::negotiation_from_flags(flags);
   cfg.run_flow_pair_baselines = false;
+  cfg.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Figure 4", "distance gain of optimal vs negotiated routing",
                           bench::universe_summary(cfg.universe));

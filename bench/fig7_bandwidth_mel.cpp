@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   cfg.negotiation = bench::negotiation_from_flags(flags);
   cfg.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
   cfg.include_unilateral = false;
+  cfg.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Figure 7", "MEL after failures: default and negotiated vs optimal",
                           bench::universe_summary(cfg.universe));

@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   cfg.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
   cfg.downstream_uses_distance = true;
   cfg.include_unilateral = false;
+  cfg.threads = bench::threads_from_flags(flags);
+  bench::reject_unknown_flags(flags);
 
   sim::print_bench_header("Figure 9",
                           "diverse criteria: upstream=bandwidth, downstream=distance",

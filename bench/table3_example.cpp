@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "sim/report.hpp"
 #include "util/flags.hpp"
@@ -49,6 +50,10 @@ core::PreferenceList rows(const std::vector<std::vector<int>>& r) {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
+  // The only flag this worked example takes; read it up front so unknown
+  // flags are rejected before any output.
+  const auto seed_flag = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+  bench::reject_unknown_flags(flags);
   sim::print_bench_header("Figure 3 (table)",
                           "worked preference-list example of Fig. 2",
                           "two flows (f2, f3), candidates {top, bottom}, P=1");
@@ -91,7 +96,7 @@ int main(int argc, char** argv) {
 
   int reached_paper_outcome = 0;
   const int runs = 100;
-  std::uint64_t shown_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+  std::uint64_t shown_seed = seed_flag;
   for (std::uint64_t seed = 1; seed <= runs; ++seed) {
     TableOracle a({rows({{-1, 0}, {0, 0}})}, false);
     TableOracle b({rows({{0, 0}, {0, 0}}), rows({{0, 0}, {1, 0}})}, true);

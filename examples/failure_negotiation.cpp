@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   sim::UniverseConfig ucfg;
   ucfg.isp_count = 30;
   ucfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+  util::reject_unknown(flags);
   ucfg.max_pairs = 1;
   auto pairs = sim::build_pair_universe(ucfg, 3);
   if (pairs.empty()) {

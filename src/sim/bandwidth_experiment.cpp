@@ -6,8 +6,20 @@
 #include "opt/min_max_load.hpp"
 #include "routing/loads.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nexit::sim {
+
+namespace {
+
+// Indices into each pair's util::fork_streams slot: the traffic matrix and
+// a dedicated source for the per-failure engine seeds. The seed stream
+// replaces the serial code's draws from the shared Rng (whose position
+// depended on earlier pairs), decoupling pairs from each other.
+constexpr std::size_t kTrafficStream = 0;
+constexpr std::size_t kEngineSeedStream = 1;
+
+}  // namespace
 
 std::vector<BandwidthSample> run_bandwidth_experiment(
     const BandwidthExperimentConfig& config) {
@@ -16,13 +28,21 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
       build_pair_universe(config.universe, 3);
 
   util::Rng rng(config.universe.seed ^ 0xba5eba11ull);
-  std::vector<BandwidthSample> samples;
+  std::vector<std::vector<util::Rng>> streams =
+      util::fork_streams(rng, pairs.size(), 2);
 
-  for (const topology::IspPair& pair : pairs) {
+  // Index-addressed slots: each pair yields a variable number of samples
+  // (one per usable failure), so workers fill their own per-pair vector and
+  // the coordinator concatenates them in pair order afterwards.
+  std::vector<std::vector<BandwidthSample>> per_pair(pairs.size());
+
+  const auto run_pair = [&pairs, &streams, &per_pair,
+                         &config](std::size_t pair_index) {
+    const topology::IspPair& pair = pairs[pair_index];
     const routing::PairRouting routing(pair);
 
     // One direction of traffic at a time (paper §5.2); A is the upstream.
-    util::Rng traffic_rng = rng.fork();
+    util::Rng traffic_rng = streams[pair_index][kTrafficStream];
     const traffic::TrafficMatrix tm = traffic::TrafficMatrix::build(
         pair, traffic::Direction::kAtoB, config.traffic, traffic_rng);
 
@@ -37,6 +57,7 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
     const routing::LoadMap caps =
         capacity::assign_capacities(baseline, config.capacity);
 
+    std::vector<BandwidthSample>& pair_samples = per_pair[pair_index];
     const std::size_t failures =
         std::min(config.max_failures_per_pair, pair.interconnection_count());
     for (std::size_t failed = 0; failed < failures; ++failed) {
@@ -102,7 +123,7 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
                      : bw_b);
 
       core::NegotiationConfig ncfg = config.negotiation;
-      ncfg.seed = rng.next_u64();
+      ncfg.seed = streams[pair_index][kEngineSeedStream].next_u64();
       core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
       const core::NegotiationOutcome outcome = engine.run();
       s.flows_moved = outcome.flows_moved;
@@ -143,9 +164,16 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
         }
       }
 
-      samples.push_back(std::move(s));
+      pair_samples.push_back(std::move(s));
     }
-  }
+  };
+
+  util::ThreadPool pool(util::workers_for_threads(config.threads));
+  util::parallel_for(pool, pairs.size(), run_pair);
+
+  std::vector<BandwidthSample> samples;
+  for (std::vector<BandwidthSample>& pair_samples : per_pair)
+    for (BandwidthSample& s : pair_samples) samples.push_back(std::move(s));
   return samples;
 }
 

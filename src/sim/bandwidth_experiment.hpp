@@ -36,6 +36,10 @@ struct BandwidthExperimentConfig {
   bool include_unilateral = true;
   /// Cap on failures simulated per pair (one sample per failed link).
   std::size_t max_failures_per_pair = 4;
+  /// Worker threads for the per-pair sweep: 1 = serial, 0 = auto-detect.
+  /// Results are bit-identical for every value (per-pair Rng streams are
+  /// forked sequentially before dispatch).
+  std::size_t threads = 1;
 };
 
 struct BandwidthSample {

@@ -5,10 +5,18 @@
 #include "core/oracles.hpp"
 #include "metrics/metrics.hpp"
 #include "traffic/traffic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nexit::sim {
 
 namespace {
+
+// Indices into each pair's util::fork_streams slot. The order matches the
+// original serial loop's fork order (traffic, then negotiation, then — only
+// when baselines are enabled — baseline), so serial output is unchanged.
+constexpr std::size_t kTrafficStream = 0;
+constexpr std::size_t kNegotiationStream = 1;
+constexpr std::size_t kBaselineStream = 2;
 
 /// Runs negotiation over `groups` random partitions of the flows (1 = the
 /// whole set, the paper's default). Returns the combined assignment and
@@ -67,18 +75,26 @@ std::vector<DistanceSample> run_distance_experiment(
   const std::vector<topology::IspPair> pairs =
       build_pair_universe(config.universe, 2);
 
+  // Pre-fork every pair's Rng streams (see util::fork_streams for why this
+  // makes an N-thread run bit-identical to a serial one).
   util::Rng rng(config.universe.seed ^ 0x5eedf00dull);
-  std::vector<DistanceSample> samples;
-  samples.reserve(pairs.size());
+  std::vector<std::vector<util::Rng>> streams = util::fork_streams(
+      rng, pairs.size(), config.run_flow_pair_baselines ? 3 : 2);
 
-  for (const topology::IspPair& pair : pairs) {
+  // Index-addressed result slots: worker i writes only samples[i], so the
+  // hot path needs no locks and the output order matches the serial run.
+  std::vector<DistanceSample> samples(pairs.size());
+
+  const auto run_pair = [&pairs, &streams, &samples,
+                         &config](std::size_t pair_index) {
+    const topology::IspPair& pair = pairs[pair_index];
     const routing::PairRouting routing(pair);
 
     // Unit-size flows in both directions (the paper's distance metric counts
     // every PoP-pair flow equally).
     traffic::TrafficConfig tcfg;
     tcfg.model = traffic::WorkloadModel::kIdentical;
-    util::Rng traffic_rng = rng.fork();
+    util::Rng traffic_rng = streams[pair_index][kTrafficStream];
     const traffic::TrafficMatrix tm =
         traffic::TrafficMatrix::build_bidirectional(pair, tcfg, traffic_rng);
 
@@ -95,7 +111,7 @@ std::vector<DistanceSample> run_distance_experiment(
     s.interconnections = pair.interconnection_count();
     s.flow_count = tm.size();
 
-    util::Rng pair_rng = rng.fork();
+    util::Rng pair_rng = streams[pair_index][kNegotiationStream];
     const routing::Assignment negotiated =
         negotiate_in_groups(routing, tm.flows(), candidates, problem, config,
                             pair_rng, s.flows_moved);
@@ -114,7 +130,7 @@ std::vector<DistanceSample> run_distance_experiment(
     }
 
     if (config.run_flow_pair_baselines) {
-      util::Rng baseline_rng = rng.fork();
+      util::Rng baseline_rng = streams[pair_index][kBaselineStream];
       const routing::Assignment pareto = core::flow_pair_strategy(
           routing, tm.flows(), candidates, problem.default_assignment,
           core::FlowPairStrategy::kFlowPareto, baseline_rng);
@@ -140,8 +156,11 @@ std::vector<DistanceSample> run_distance_experiment(
       s.flow_saving_km_negotiated.push_back((def - neg) * tm.flows()[i].size);
     }
 
-    samples.push_back(std::move(s));
-  }
+    samples[pair_index] = std::move(s);
+  };
+
+  util::ThreadPool pool(util::workers_for_threads(config.threads));
+  util::parallel_for(pool, pairs.size(), run_pair);
   return samples;
 }
 

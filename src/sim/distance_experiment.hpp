@@ -30,6 +30,10 @@ struct DistanceExperimentConfig {
   /// Negotiate in `groups` random partitions instead of the whole set
   /// (1 = whole set; >1 reproduces the §5.1 group-negotiation ablation).
   std::size_t groups = 1;
+  /// Worker threads for the per-pair sweep: 1 = serial, 0 = auto-detect.
+  /// Results are bit-identical for every value (per-pair Rng streams are
+  /// forked sequentially before dispatch).
+  std::size_t threads = 1;
 };
 
 struct DistanceSample {

@@ -1,9 +1,27 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <iostream>
 #include <stdexcept>
 
 namespace nexit::util {
+
+namespace {
+
+/// Aborts with exit 2 naming the flag and the malformed value. Flag parsing
+/// is a program-startup concern for CLI binaries, so hard-exiting here (like
+/// reject_unknown_flags does) beats silently running with value 0.
+[[noreturn]] void die_bad_value(const std::string& name,
+                                const std::string& value,
+                                const char* expected) {
+  std::cerr << "error: flag --" << name << " expects " << expected
+            << ", got \"" << value << "\"\n";
+  std::exit(2);
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -22,30 +40,88 @@ Flags::Flags(int argc, char** argv) {
   }
 }
 
-bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+bool Flags::has(const std::string& name) const {
+  queried_.insert(name);
+  return values_.count(name) > 0;
+}
 
 std::string Flags::get_string(const std::string& name,
                               const std::string& fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
 }
 
 std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || errno == ERANGE)
+    die_bad_value(name, value, "an integer");
+  return parsed;
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  const std::string& value = it->second;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  // ERANGE alone is not malformed: glibc also sets it on underflow to a
+  // representable denormal (e.g. "1e-310"). Overflow and explicit
+  // "inf"/"nan" spellings are rejected — no experiment flag means them.
+  if (value.empty() || *end != '\0' || !std::isfinite(parsed))
+    die_bad_value(name, value, "a finite number");
+  return parsed;
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {
+  queried_.insert(name);
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& value = it->second;
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  die_bad_value(name, value, "a boolean (true/false/1/0/yes/no)");
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> result;
+  for (const auto& [name, value] : values_)
+    if (queried_.count(name) == 0) result.push_back(name);
+  return result;
+}
+
+std::vector<std::string> Flags::queried() const {
+  return {queried_.begin(), queried_.end()};
+}
+
+void reject_unknown(const Flags& flags) {
+  const std::vector<std::string> unknown = flags.unknown();
+  const std::vector<std::string>& positional = flags.positional();
+  if (unknown.empty() && positional.empty()) return;
+  if (!unknown.empty()) {
+    std::cerr << "error: unknown flag" << (unknown.size() > 1 ? "s" : "")
+              << ":";
+    for (const std::string& name : unknown) std::cerr << " --" << name;
+    std::cerr << "\n";
+  }
+  if (!positional.empty()) {
+    std::cerr << "error: unexpected argument"
+              << (positional.size() > 1 ? "s" : "")
+              << " (flags are spelled --name=value):";
+    for (const std::string& arg : positional) std::cerr << " " << arg;
+    std::cerr << "\n";
+  }
+  std::cerr << "this binary reads:";
+  for (const std::string& name : flags.queried()) std::cerr << " --" << name;
+  std::cerr << "\n";
+  std::exit(2);
 }
 
 }  // namespace nexit::util

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,13 @@ namespace nexit::util {
 /// Minimal command-line flag parser for the bench binaries and examples.
 /// Accepts "--name=value"; bare "--name" sets "true". (No "--name value"
 /// form: it is ambiguous with positional arguments.)
+///
+/// Typos cannot silently misconfigure a run: a present-but-malformed value
+/// (`--pairs=abc`, `--pairs=`) makes get_int/get_double/get_bool abort with
+/// exit 2 naming the flag, and every accessor records the queried name so
+/// that after a binary has read all the flags it understands, `unknown()`
+/// lists the leftovers — typos like `--seeed=7` — and the bench harness can
+/// refuse to run with them.
 class Flags {
  public:
   Flags(int argc, char** argv);
@@ -27,9 +35,26 @@ class Flags {
     return positional_;
   }
 
+  /// Flags given on the command line that no accessor has queried yet, in
+  /// sorted order. Call after all get_*/has calls to catch misspellings.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+  /// Every name queried so far (present on the command line or not), in
+  /// sorted order — i.e. the flags this binary actually understands.
+  [[nodiscard]] std::vector<std::string> queried() const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  /// Names queried via has()/get_*; mutable because querying a flag is
+  /// logically const but must be remembered for unknown().
+  mutable std::set<std::string> queried_;
 };
+
+/// Aborts (exit 2) if the command line carried flags the binary never read,
+/// or positional arguments (no binary in this repo takes any, so `-seed=7`
+/// — one dash — is a typo, not an operand). Call once, after every
+/// get_*/has call, so a typo cannot silently fall back to defaults.
+void reject_unknown(const Flags& flags);
 
 }  // namespace nexit::util

@@ -2,11 +2,14 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace nexit::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+// Experiment workers log concurrently; serialize so lines never interleave.
+std::mutex g_log_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +29,7 @@ LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_level.load()) return;
+  std::lock_guard<std::mutex> lock(g_log_mutex);
   std::cerr << "[" << level_name(level) << "] " << message << "\n";
 }
 

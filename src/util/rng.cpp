@@ -92,4 +92,15 @@ std::size_t Rng::pick_index(std::size_t size) {
   return static_cast<std::size_t>(next_below(size));
 }
 
+std::vector<std::vector<Rng>> fork_streams(Rng& rng, std::size_t count,
+                                           std::size_t streams_per_item) {
+  std::vector<std::vector<Rng>> result(count);
+  for (std::vector<Rng>& item : result) {
+    item.reserve(streams_per_item);
+    for (std::size_t s = 0; s < streams_per_item; ++s)
+      item.push_back(rng.fork());
+  }
+  return result;
+}
+
 }  // namespace nexit::util

@@ -59,4 +59,14 @@ class Rng {
   double spare_gaussian_ = 0.0;
 };
 
+/// Forks `streams_per_item` child generators for each of `count` items,
+/// SERIALLY and in item order: item 0's streams first, then item 1's, and
+/// so on. This is the one place that encodes the parallel experiment
+/// engines' determinism scheme — pre-forking every item's randomness before
+/// dispatch makes an N-thread run bit-identical to a serial one, and
+/// identical to a serial loop that forked the same number of streams per
+/// item inline. Result: result[item][stream].
+std::vector<std::vector<Rng>> fork_streams(Rng& rng, std::size_t count,
+                                           std::size_t streams_per_item);
+
 }  // namespace nexit::util

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <utility>
+
+namespace nexit::util {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  workers_.reserve(worker_count);
+  try {
+    for (std::size_t i = 0; i < worker_count; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  } catch (...) {
+    // std::thread creation can throw (e.g. RLIMIT_NPROC); shut down the
+    // workers already started before rethrowing, or their joinable
+    // destructors would call std::terminate.
+    shutdown();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::run_task(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    run_task(task);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to do
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_task(task);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) pool.submit([&body, i] { body(i); });
+  pool.wait();
+}
+
+std::size_t workers_for_threads(std::size_t threads) {
+  if (threads == 0) threads = ThreadPool::hardware_threads();
+  return threads == 1 ? 0 : threads;
+}
+
+}  // namespace nexit::util

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nexit::util {
+
+/// Fixed-size worker pool for sharding independent work items (ISP pairs,
+/// failure samples) across threads.
+///
+/// Semantics chosen for deterministic experiment engines:
+///  - `worker_count == 0` runs every task inline on the submitting thread,
+///    so a "no threads" configuration is exactly the serial code path.
+///  - Exceptions thrown by tasks are captured; the FIRST one (in completion
+///    order) is rethrown from `wait()`. Remaining tasks still run.
+///  - `wait()` may be called repeatedly; the pool is reusable afterwards.
+///
+/// Tasks must not submit to the pool they run on (no nested submission);
+/// the experiment engines only ever submit from the coordinating thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` (runs it inline when the pool has no workers).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any.
+  void wait();
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Detected hardware parallelism, never 0.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+  void run_task(const std::function<void()>& task);
+  /// Stops and joins all workers (used by the destructor, and by the
+  /// constructor to unwind safely when std::thread creation throws).
+  void shutdown();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for every i in [0, n) on the pool and blocks until all
+/// iterations finish; rethrows the first task exception. Each index is an
+/// independent task, so iterations may run in any order — callers must make
+/// iterations independent (write only to slot i).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps a user-facing `--threads` value to a worker count: 0 means
+/// auto-detect, 1 means run serially (no worker threads), N>1 means N
+/// workers.
+std::size_t workers_for_threads(std::size_t threads);
+
+}  // namespace nexit::util

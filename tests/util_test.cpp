@@ -209,5 +209,99 @@ TEST(Flags, DoubleAndString) {
   EXPECT_EQ(f.get_string("name", ""), "abc");
 }
 
+TEST(Flags, UnknownListsFlagsNeverQueried) {
+  const char* argv[] = {"prog", "--seed=7", "--seeed=9", "--verbose"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("seed", 0), 7);
+  const std::vector<std::string> unknown = f.unknown();
+  ASSERT_EQ(unknown.size(), 2u);  // sorted: the typo and the unread bare flag
+  EXPECT_EQ(unknown[0], "seeed");
+  EXPECT_EQ(unknown[1], "verbose");
+}
+
+TEST(Flags, QueryingWithAnyAccessorMarksKnown) {
+  const char* argv[] = {"prog", "--a=1", "--b=2.0", "--c=x", "--d", "--e"};
+  Flags f(6, const_cast<char**>(argv));
+  (void)f.get_int("a", 0);
+  (void)f.get_double("b", 0.0);
+  (void)f.get_string("c", "");
+  (void)f.get_bool("d", false);
+  (void)f.has("e");
+  EXPECT_TRUE(f.unknown().empty());
+}
+
+TEST(Flags, QueryingAbsentNamesLeavesNoUnknowns) {
+  const char* argv[] = {"prog"};
+  Flags f(1, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("missing", 3), 3);
+  EXPECT_TRUE(f.unknown().empty());
+}
+
+TEST(ForkStreams, MatchesManualSequentialForks) {
+  Rng a(99), b(99);
+  const auto streams = fork_streams(a, 3, 2);
+  ASSERT_EQ(streams.size(), 3u);
+  for (std::size_t item = 0; item < 3; ++item) {
+    ASSERT_EQ(streams[item].size(), 2u);
+    for (std::size_t s = 0; s < 2; ++s) {
+      Rng manual = b.fork();
+      Rng from_helper = streams[item][s];
+      for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(from_helper.next_u64(), manual.next_u64());
+    }
+  }
+  // Both parents advanced identically.
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(FlagsDeathTest, MalformedIntAborts) {
+  const char* argv[] = {"prog", "--pairs=abc", "--empty=", "--typo=6O"};
+  Flags f(4, const_cast<char**>(argv));
+  EXPECT_EXIT((void)f.get_int("pairs", 0), ::testing::ExitedWithCode(2),
+              "--pairs expects an integer");
+  EXPECT_EXIT((void)f.get_int("empty", 0), ::testing::ExitedWithCode(2),
+              "--empty expects an integer");
+  EXPECT_EXIT((void)f.get_int("typo", 0), ::testing::ExitedWithCode(2),
+              "--typo expects an integer");
+}
+
+TEST(FlagsDeathTest, MalformedDoubleAndBoolAbort) {
+  const char* argv[] = {"prog", "--ratio=fast", "--flag=ture", "--inf=inf",
+                        "--nan=nan", "--huge=1e999"};
+  Flags f(6, const_cast<char**>(argv));
+  EXPECT_EXIT((void)f.get_double("ratio", 0.0), ::testing::ExitedWithCode(2),
+              "--ratio expects a finite number");
+  EXPECT_EXIT((void)f.get_bool("flag", false), ::testing::ExitedWithCode(2),
+              "--flag expects a boolean");
+  EXPECT_EXIT((void)f.get_double("inf", 0.0), ::testing::ExitedWithCode(2),
+              "--inf expects a finite number");
+  EXPECT_EXIT((void)f.get_double("nan", 0.0), ::testing::ExitedWithCode(2),
+              "--nan expects a finite number");
+  EXPECT_EXIT((void)f.get_double("huge", 0.0), ::testing::ExitedWithCode(2),
+              "--huge expects a finite number");
+}
+
+TEST(Flags, WellFormedValuesStillParse) {
+  const char* argv[] = {"prog", "--n=-7", "--x=2.5e3", "--b=no",
+                        "--tiny=1e-310"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("n", 0), -7);
+  EXPECT_DOUBLE_EQ(f.get_double("x", 0.0), 2500.0);
+  EXPECT_FALSE(f.get_bool("b", true));
+  // Denormal underflow sets ERANGE on glibc but is a legal value.
+  EXPECT_GT(f.get_double("tiny", 0.0), 0.0);
+}
+
+TEST(Flags, QueriedListsWhatTheBinaryReads) {
+  const char* argv[] = {"prog", "--seed=7"};
+  Flags f(2, const_cast<char**>(argv));
+  (void)f.get_int("seed", 0);
+  (void)f.get_int("pairs", 60);  // absent flags count as understood too
+  const std::vector<std::string> queried = f.queried();
+  ASSERT_EQ(queried.size(), 2u);
+  EXPECT_EQ(queried[0], "pairs");
+  EXPECT_EQ(queried[1], "seed");
+}
+
 }  // namespace
 }  // namespace nexit::util
