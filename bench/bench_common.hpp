@@ -14,12 +14,19 @@
 //
 // Unknown flags are a hard error: after reading all its flags, each binary
 // calls reject_unknown_flags(), so a misspelled flag (--seeed=7) aborts with
-// a message instead of silently running the default configuration.
+// a message instead of silently running the default configuration. The same
+// call makes `--help` print the flags the binary reads and exit 0, and
+// JSON-enabled benches accept `--json=<path>` (see JsonReport below) to
+// record config + metrics machine-readably.
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/bandwidth_experiment.hpp"
 #include "sim/distance_experiment.hpp"
@@ -46,25 +53,26 @@ inline core::NegotiationConfig negotiation_from_flags(const util::Flags& flags) 
   return cfg;
 }
 
-/// Worker-thread count for the experiment engines: `--threads=0` means
-/// auto-detect, `--threads=1` (the default) runs serially; any value yields
-/// bit-identical results. The 0 -> hardware mapping itself is owned by
-/// util::workers_for_threads. Malformed values abort inside
-/// Flags::get_int; the range check here keeps a fat-fingered count from
-/// exhausting std::thread construction.
-inline std::size_t threads_from_flags(const util::Flags& flags) {
-  const std::int64_t t = flags.get_int("threads", 1);
-  if (t < 0 || t > 1024) {
-    std::cerr << "error: --threads expects an integer in [0, 1024] "
-                 "(0 = auto-detect), got " << t << "\n";
-    std::exit(2);
-  }
-  return static_cast<std::size_t>(t);
-}
-
 /// Bench-facing name for util::reject_unknown; see its doc comment.
 inline void reject_unknown_flags(const util::Flags& flags) {
   util::reject_unknown(flags);
+}
+
+/// Bench-facing name for util::get_count; see its doc comment.
+inline std::size_t size_from_flags(const util::Flags& flags,
+                                   const std::string& name,
+                                   std::size_t fallback,
+                                   std::size_t max_value) {
+  return util::get_count(flags, name, fallback, max_value);
+}
+
+/// Worker-thread count for the experiment engines: `--threads=0` means
+/// auto-detect, `--threads=1` (the default) runs serially; any value yields
+/// bit-identical results. The 0 -> hardware mapping itself is owned by
+/// util::workers_for_threads; the [0, 1024] bound keeps a fat-fingered
+/// count from exhausting std::thread construction.
+inline std::size_t threads_from_flags(const util::Flags& flags) {
+  return util::get_count(flags, "threads", 1, 1024);
 }
 
 inline std::string universe_summary(const sim::UniverseConfig& u) {
@@ -73,6 +81,112 @@ inline std::string universe_summary(const sim::UniverseConfig& u) {
      << u.max_pairs << " pairs, PoPs " << u.generator.min_pops << "-"
      << u.generator.max_pops;
   return os.str();
+}
+
+/// Machine-readable run record for perf trajectories: a bench that is handed
+/// `--json=<path>` writes `{binary, config: {...}, metrics: {...}}` there,
+/// so successive runs (BENCH_*.json) can be diffed and plotted across PRs.
+///
+/// Construct it right after parsing (the constructor reads --json, keeping
+/// reject_unknown_flags() happy), record config/metrics as they are
+/// computed, and call write() last. Everything is a no-op without --json.
+class JsonReport {
+ public:
+  JsonReport(const util::Flags& flags, std::string binary_name)
+      : path_(flags.get_string("json", "")), binary_(std::move(binary_name)) {}
+
+  void config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, quote(value));
+  }
+  void config(const std::string& key, std::int64_t value) {
+    config_.emplace_back(key, std::to_string(value));
+  }
+  void config(const std::string& key, double value) {
+    config_.emplace_back(key, number(value));
+  }
+
+  void metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, number(value));
+  }
+  void metric(const std::string& name, std::int64_t value) {
+    metrics_.emplace_back(name, std::to_string(value));
+  }
+  /// Five-point summary of a CDF under "<name>.{n,min,p25,p50,p75,max}".
+  void metric_cdf(const std::string& name, const util::Cdf& cdf) {
+    if (cdf.empty()) return;
+    metric(name + ".n", static_cast<std::int64_t>(cdf.size()));
+    metric(name + ".min", cdf.min());
+    metric(name + ".p25", cdf.value_at(0.25));
+    metric(name + ".p50", cdf.value_at(0.5));
+    metric(name + ".p75", cdf.value_at(0.75));
+    metric(name + ".max", cdf.max());
+  }
+
+  /// Writes the file if --json=<path> was given; exits 2 on I/O failure (a
+  /// requested-but-unwritable record should not fail silently).
+  void write() const {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    out << "{\n  \"binary\": " << quote(binary_) << ",\n  \"config\": {";
+    emit(out, config_);
+    out << "},\n  \"metrics\": {";
+    emit(out, metrics_);
+    out << "}\n}\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "error: --json: cannot write " << path_ << "\n";
+      std::exit(2);
+    }
+    std::cout << "json record written to " << path_ << "\n";
+  }
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string number(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  static void emit(std::ofstream& out, const Entries& entries) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    " << quote(entries[i].first)
+          << ": " << entries[i].second;
+    }
+    if (!entries.empty()) out << "\n  ";
+  }
+
+  std::string path_;
+  std::string binary_;
+  Entries config_;
+  Entries metrics_;
+};
+
+/// Records the universe knobs every sweep bench shares.
+inline void record_universe(JsonReport& json, const sim::UniverseConfig& u,
+                            std::size_t threads) {
+  json.config("isps", static_cast<std::int64_t>(u.isp_count));
+  json.config("seed", static_cast<std::int64_t>(u.seed));
+  json.config("pairs", static_cast<std::int64_t>(u.max_pairs));
+  json.config("threads", static_cast<std::int64_t>(threads));
 }
 
 }  // namespace nexit::bench

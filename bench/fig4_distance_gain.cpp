@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace nexit;
   util::Flags flags(argc, argv);
+  bench::JsonReport json(flags, "fig4_distance_gain");
 
   sim::DistanceExperimentConfig cfg;
   cfg.universe = bench::universe_from_flags(flags);
@@ -70,5 +71,15 @@ int main(int argc, char** argv) {
                    std::to_string(neg_losers) + "/" + std::to_string(isps) +
                        " ISPs lose >0.5%",
                    neg_losers == 0);
+
+  bench::record_universe(json, cfg.universe, cfg.threads);
+  json.metric("samples", static_cast<std::int64_t>(samples.size()));
+  json.metric_cdf("total_gain_pct.negotiated", total_neg);
+  json.metric_cdf("total_gain_pct.optimal", total_opt);
+  json.metric_cdf("individual_gain_pct.negotiated", indiv_neg);
+  json.metric_cdf("individual_gain_pct.optimal", indiv_opt);
+  json.metric("isps_losing.optimal", static_cast<std::int64_t>(opt_losers));
+  json.metric("isps_losing.negotiated", static_cast<std::int64_t>(neg_losers));
+  json.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace nexit;
   util::Flags flags(argc, argv);
+  bench::JsonReport json(flags, "fig7_bandwidth_mel");
 
   sim::BandwidthExperimentConfig cfg;
   cfg.universe = bench::universe_from_flags(flags);
@@ -66,5 +67,14 @@ int main(int argc, char** argv) {
                    "median default " + std::to_string(def_up.value_at(0.5)) +
                        " vs negotiated " + std::to_string(neg_up.value_at(0.5)),
                    neg_up.value_at(0.5) <= def_up.value_at(0.5) + 1e-9);
+
+  bench::record_universe(json, cfg.universe, cfg.threads);
+  json.config("reassign", cfg.negotiation.reassign_traffic_fraction);
+  json.metric("samples", static_cast<std::int64_t>(n));
+  json.metric_cdf("mel_ratio.upstream.default", def_up);
+  json.metric_cdf("mel_ratio.upstream.negotiated", neg_up);
+  json.metric_cdf("mel_ratio.downstream.default", def_down);
+  json.metric_cdf("mel_ratio.downstream.negotiated", neg_down);
+  json.write();
   return 0;
 }

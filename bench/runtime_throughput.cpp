@@ -1,0 +1,146 @@
+// Throughput of the concurrent negotiation runtime: how many full
+// agent-pair sessions (handshake, proposal rounds, settlement) the
+// SessionManager completes per second, and how many protocol messages that
+// pumps through the frame codec.
+//
+//   ./build/runtime_throughput --sessions=500 --threads=4
+//
+// Flags (beyond the shared universe ones):
+//   --sessions=N   concurrent sessions (default 500; cycles universe pairs
+//                  with per-session uniform-random traffic)
+//   --stagger=T    virtual ticks between session starts (default 0: all at
+//                  once — maximum concurrency)
+//   --burst=N      pump steps before a session yields its worker (default 0:
+//                  run each ready session to stall/completion)
+//   --drop=P --corrupt=P  fault injection on every session's transport.
+//                  Nexit has no retransmission layer (it expects TCP), so a
+//                  single lost frame desyncs and dooms the whole attempt —
+//                  even small P fails most sessions after bounded retries.
+//                  The point of the knob is exercising clean timeout/retry
+//                  behaviour at scale, not modelling realistic loss.
+//   --transport=memory|socket   channel kind (socket is fd-backed AF_UNIX;
+//                  mind the fd limit at high --sessions)
+//   --json=PATH    machine-readable record of config + results
+//
+// Outcomes are bit-identical for every --threads value (in-memory
+// transport); the digest printed at the end makes that checkable from the
+// shell:  diff <(... --threads=1) <(... --threads=4)
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "runtime/scenario.hpp"
+
+using namespace nexit;
+
+namespace {
+
+/// FNV-1a over every session's terminal state and assignment: any
+/// scheduling-dependent divergence shows up as a different digest.
+std::uint64_t outcome_digest(const runtime::ScenarioReport& report) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& s : report.sessions) {
+    mix(static_cast<std::uint64_t>(s.status));
+    mix(s.messages);
+    if (s.status == runtime::SessionStatus::kDone) {
+      mix(s.outcome.rounds);
+      for (std::size_t ix : s.outcome.assignment.ix_of_flow)
+        mix(static_cast<std::uint64_t>(ix));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::JsonReport json(flags, "runtime_throughput");
+
+  runtime::ScenarioConfig cfg;
+  cfg.universe = bench::universe_from_flags(flags);
+  cfg.negotiation = bench::negotiation_from_flags(flags);
+  cfg.session_count = bench::size_from_flags(flags, "sessions", 500, 1u << 20);
+  cfg.traffic = runtime::ScenarioTraffic::kBidirectionalUniformRandom;
+  cfg.start_stagger = static_cast<runtime::Tick>(
+      bench::size_from_flags(flags, "stagger", 0, 1u << 20));
+  cfg.limits.max_steps_per_pump =
+      bench::size_from_flags(flags, "burst", 0, 1u << 30);
+  cfg.faults.drop = flags.get_double("drop", 0.0);
+  cfg.faults.corrupt = flags.get_double("corrupt", 0.0);
+  cfg.runtime.threads = bench::threads_from_flags(flags);
+  const std::string transport = flags.get_string("transport", "memory");
+  if (transport == "socket") {
+    cfg.transport = runtime::Transport::kSocketPair;
+  } else if (transport != "memory" && !flags.help_requested()) {
+    std::cerr << "error: --transport expects memory or socket\n";
+    return 2;
+  }
+  bench::reject_unknown_flags(flags);
+
+  sim::print_bench_header(
+      "Runtime", "concurrent negotiation sessions over the event runtime",
+      bench::universe_summary(cfg.universe));
+  std::cout << cfg.session_count << " sessions (" << transport
+            << " transport), stagger " << cfg.start_stagger << ", burst "
+            << cfg.limits.max_steps_per_pump << ", drop " << cfg.faults.drop
+            << ", threads " << cfg.runtime.threads << "\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::Scenario scenario(cfg);
+  const auto t_built = std::chrono::steady_clock::now();
+  const runtime::ScenarioReport report = scenario.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const double build_s = std::chrono::duration<double>(t_built - t0).count();
+  const double run_s = std::chrono::duration<double>(t1 - t_built).count();
+  const auto& st = report.stats;
+  const double sessions_per_s =
+      run_s > 0 ? static_cast<double>(st.done + st.failed) / run_s : 0.0;
+  const double messages_per_s =
+      run_s > 0 ? static_cast<double>(st.messages) / run_s : 0.0;
+
+  std::printf("world build: %.3f s   run: %.3f s\n", build_s, run_s);
+  std::printf("done %zu / failed %zu / cancelled %zu of %zu sessions\n",
+              st.done, st.failed, st.cancelled, st.sessions);
+  std::printf("rounds %zu (peak ready %zu), final tick %llu\n", st.rounds,
+              st.peak_ready,
+              static_cast<unsigned long long>(st.final_tick));
+  std::printf("%.0f sessions/s   %.0f messages/s   (%llu messages, %zu steps)\n",
+              sessions_per_s, messages_per_s,
+              static_cast<unsigned long long>(st.messages), st.total_steps);
+  std::printf("outcome digest: %016llx\n",
+              static_cast<unsigned long long>(outcome_digest(report)));
+
+  bench::record_universe(json, cfg.universe, cfg.runtime.threads);
+  json.config("sessions", static_cast<std::int64_t>(cfg.session_count));
+  json.config("transport", transport);
+  json.config("stagger", static_cast<std::int64_t>(cfg.start_stagger));
+  json.config("burst", static_cast<std::int64_t>(cfg.limits.max_steps_per_pump));
+  json.config("drop", cfg.faults.drop);
+  json.config("corrupt", cfg.faults.corrupt);
+  json.metric("build_seconds", build_s);
+  json.metric("run_seconds", run_s);
+  json.metric("sessions_done", static_cast<std::int64_t>(st.done));
+  json.metric("sessions_failed", static_cast<std::int64_t>(st.failed));
+  json.metric("sessions_per_second", sessions_per_s);
+  json.metric("messages_per_second", messages_per_s);
+  json.metric("messages", static_cast<std::int64_t>(st.messages));
+  json.metric("steps", static_cast<std::int64_t>(st.total_steps));
+  json.metric("rounds", static_cast<std::int64_t>(st.rounds));
+  json.write();
+
+  // Fault-free runs must complete everything; anything else is a bug worth
+  // a red exit in CI.
+  if (cfg.faults.drop == 0.0 && cfg.faults.corrupt == 0.0 &&
+      st.done != st.sessions) {
+    std::cerr << "error: " << (st.sessions - st.done)
+              << " sessions did not complete\n";
+    return 1;
+  }
+  return 0;
+}

@@ -79,6 +79,10 @@ int main(int argc, char** argv) {
   core::BandwidthOracle oracle_a(0, prefs, caps), oracle_b(1, prefs, caps);
   core::NegotiationConfig ncfg;
   ncfg.reassign_traffic_fraction = 0.05;
+  // Deterministic tie-breaks, matching the wire agents and the runtime's
+  // link-failure scenario (tests/runtime_test.cpp replays this renegotiation
+  // through runtime::Scenario and checks the outcomes coincide).
+  ncfg.tie_break = core::TieBreak::kDeterministic;
   core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
   auto outcome = engine.run();
   report("negotiated (Nexit):",

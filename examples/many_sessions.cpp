@@ -1,0 +1,101 @@
+// The concurrent negotiation runtime, end to end: a whole universe of ISP
+// pairs negotiates at once over the event-driven SessionManager, with a
+// scenario timeline injecting the churn a production deployment would see —
+// staggered session starts, a mid-session interconnection failure that
+// forces a renegotiation with bandwidth oracles (the §5.2 scenario), a peer
+// restart, and one ISP pair stuck behind a lossy control channel that fails
+// cleanly by timeout instead of spinning forever.
+//
+//   ./build/many_sessions [--seed=N] [--threads=N]
+
+#include <cstdio>
+
+#include "runtime/scenario.hpp"
+#include "util/flags.hpp"
+
+using namespace nexit;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  runtime::ScenarioConfig cfg;
+  cfg.universe.isp_count = 30;
+  cfg.universe.seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+  cfg.universe.max_pairs = 12;
+  cfg.min_links = 3;  // failures need surviving interconnections
+  // Bidirectional identical-weight traffic (the distance experiments'
+  // workload) gives every session real proposal rounds to chew through.
+  cfg.traffic = runtime::ScenarioTraffic::kBidirectionalIdentical;
+  cfg.negotiation.reassign_traffic_fraction = 0.05;
+  cfg.runtime.threads = util::get_count(flags, "threads", 1, 1024);
+  util::reject_unknown(flags);
+
+  cfg.start_stagger = 2;              // sessions come up two ticks apart
+  cfg.limits.max_steps_per_pump = 8;  // yield between bursts: events can
+                                      // land mid-negotiation
+  cfg.limits.handshake_deadline = 16;
+  cfg.limits.max_attempts = 2;
+  // Session 3's control channel black-holes every frame: it must end in a
+  // clean kFailed via the handshake deadline, not spin forever.
+  cfg.faults.drop = 1.0;
+  cfg.fault_targets = {3};
+  // The declared timeline (replayable from this config alone):
+  cfg.events = {
+      // Interconnection failure on session 0's pair: whatever it agreed on
+      // is void — re-route by early-exit over the survivors and renegotiate
+      // the affected flows with bandwidth oracles.
+      {1, runtime::EventKind::kLinkFailure, 0, runtime::kBusiestIx},
+      // One peer of session 1 crashes and reconnects with fresh channels.
+      {3, runtime::EventKind::kPeerRestart, 1, 0},
+      // Session 2's traffic churns: renegotiate a fresh matrix.
+      {5, runtime::EventKind::kFlowChurn, 2, 4242},
+  };
+
+  runtime::Scenario scenario(cfg);
+  const runtime::ScenarioReport report = scenario.run();
+
+  const char* kind_names[] = {"initial", "churn-renego", "failure-renego"};
+  std::printf("%-4s %-22s %-15s %-10s %8s %8s %9s\n", "id", "pair", "kind",
+              "status", "attempts", "rounds", "messages");
+  for (const auto& s : report.sessions) {
+    std::printf("%-4u %-22s %-15s %-10s %8d %8zu %9llu",
+                s.id, s.pair_label.c_str(),
+                kind_names[static_cast<int>(s.kind)],
+                runtime::to_string(s.status).c_str(), s.attempts,
+                s.status == runtime::SessionStatus::kDone ? s.outcome.rounds
+                                                          : 0,
+                static_cast<unsigned long long>(s.messages));
+    if (s.parent >= 0)
+      std::printf("   (renegotiates for session %lld)",
+                  static_cast<long long>(s.parent));
+    if (s.status == runtime::SessionStatus::kFailed ||
+        s.status == runtime::SessionStatus::kCancelled)
+      std::printf("   [%s]", s.error.c_str());
+    std::printf("\n");
+  }
+
+  const auto& st = report.stats;
+  std::printf("\n%zu sessions: %zu done, %zu failed, %zu cancelled; "
+              "%zu scheduling rounds (peak %zu ready), final tick %llu\n",
+              st.sessions, st.done, st.failed, st.cancelled, st.rounds,
+              st.peak_ready, static_cast<unsigned long long>(st.final_tick));
+
+  // The failure renegotiation is the §5.2 story: report what moved.
+  for (const auto& s : report.sessions) {
+    if (s.kind == runtime::SessionKind::kFailureRenegotiation &&
+        s.status == runtime::SessionStatus::kDone) {
+      const auto& world = scenario.world_of(s.id);
+      std::printf("failure renegotiation on %s: interconnection %zu failed, "
+                  "%zu affected flows renegotiated, %zu moved off their "
+                  "post-failure default, %zu reassignments\n",
+                  s.pair_label.c_str(), world.failed_ix,
+                  s.outcome.flows_negotiated, s.outcome.flows_moved,
+                  s.outcome.reassignments);
+    }
+  }
+  // Everything accounted for: the lossy session failed cleanly, the
+  // cancelled one was superseded by its renegotiation, the rest agreed.
+  return st.failed == 1 && st.done + st.cancelled + st.failed == st.sessions
+             ? 0
+             : 1;
+}

@@ -12,10 +12,16 @@
 #include "metrics/metrics.hpp"
 #include "topology/generator.hpp"
 #include "traffic/traffic.hpp"
+#include "util/flags.hpp"
 
 using namespace nexit;
 
-int main() {
+int main(int argc, char** argv) {
+  // No knobs here — but --help should still say so, and stray flags should
+  // be an error rather than silently ignored.
+  util::Flags flags(argc, argv);
+  util::reject_unknown(flags);
+
   // 1. Two synthetic ISPs over the built-in city database. Peering happens
   //    wherever both have a PoP.
   topology::GeneratorConfig gcfg;

@@ -17,10 +17,16 @@
 #include "metrics/metrics.hpp"
 #include "sim/pair_universe.hpp"
 #include "traffic/traffic.hpp"
+#include "util/flags.hpp"
 
 using namespace nexit;
 
-int main() {
+int main(int argc, char** argv) {
+  // No knobs here — but --help should still say so, and stray flags should
+  // be an error rather than silently ignored.
+  util::Flags flags(argc, argv);
+  util::reject_unknown(flags);
+
   // A pair of synthetic ISPs and the flows they exchange.
   sim::UniverseConfig ucfg;
   ucfg.isp_count = 20;

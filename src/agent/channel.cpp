@@ -37,6 +37,10 @@ class InMemoryChannel : public Channel {
     return out;
   }
 
+  [[nodiscard]] bool readable() const override {
+    return !(is_a_ ? state_->b_to_a : state_->a_to_b).empty();
+  }
+
   [[nodiscard]] bool closed() const override { return state_->closed; }
   void close() override { state_->closed = true; }
 
@@ -52,20 +56,26 @@ class SocketChannel : public Channel {
 
   void send(const proto::Bytes& data) override {
     if (fd_ < 0) throw std::runtime_error("channel closed");
-    std::size_t sent = 0;
-    while (sent < data.size()) {
-      const ssize_t n = ::write(fd_, data.data() + sent, data.size() - sent);
-      if (n < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
-        throw std::runtime_error("socket write failed");
-      }
-      sent += static_cast<std::size_t>(n);
+    // Busy-waiting on EAGAIN here would deadlock when both endpoints are
+    // pumped by the same thread (the runtime's Session) and a frame
+    // overflows the socket buffer: the only reader is the peer we would be
+    // starving. Queue what the kernel will not take and flush it from the
+    // next send()/receive() call instead.
+    if (!pending_out_.empty()) {
+      pending_out_.insert(pending_out_.end(), data.begin(), data.end());
+      flush();
+      return;
     }
+    const std::size_t sent = write_some(data.data(), data.size());
+    if (sent < data.size())
+      pending_out_.assign(data.begin() + static_cast<std::ptrdiff_t>(sent),
+                          data.end());
   }
 
   proto::Bytes receive() override {
     proto::Bytes out;
     if (fd_ < 0) return out;
+    flush();
     std::uint8_t buf[65536];
     for (;;) {
       const ssize_t n = ::read(fd_, buf, sizeof(buf));
@@ -81,17 +91,51 @@ class SocketChannel : public Channel {
     return out;
   }
 
+  // Kernel buffers are invisible without a syscall; the reactor polls
+  // poll_fd() instead of asking readable().
+  [[nodiscard]] bool readable() const override { return false; }
+  [[nodiscard]] int poll_fd() const override { return fd_; }
+
   [[nodiscard]] bool closed() const override { return fd_ < 0; }
 
   void close() override {
     if (fd_ >= 0) {
+      // Best-effort: hand any queued overflow to the kernel before teardown
+      // (one non-blocking pass — a blocking flush could deadlock against a
+      // same-thread peer, the very thing the queue exists to avoid). Bytes
+      // the kernel still refuses are dropped, as with any abortive close.
+      flush();
       ::close(fd_);
       fd_ = -1;
+      pending_out_.clear();
     }
   }
 
  private:
+  /// Writes as much as the kernel accepts right now; returns bytes taken.
+  std::size_t write_some(const std::uint8_t* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n = ::write(fd_, data + sent, size - sent);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        throw std::runtime_error("socket write failed");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return sent;
+  }
+
+  void flush() {
+    if (pending_out_.empty() || fd_ < 0) return;
+    const std::size_t sent = write_some(pending_out_.data(), pending_out_.size());
+    pending_out_.erase(pending_out_.begin(),
+                       pending_out_.begin() + static_cast<std::ptrdiff_t>(sent));
+  }
+
   int fd_;
+  proto::Bytes pending_out_;
 };
 
 }  // namespace
@@ -134,6 +178,8 @@ void FaultyChannel::send(const proto::Bytes& data) {
 }
 
 proto::Bytes FaultyChannel::receive() { return inner_->receive(); }
+bool FaultyChannel::readable() const { return inner_->readable(); }
+int FaultyChannel::poll_fd() const { return inner_->poll_fd(); }
 bool FaultyChannel::closed() const { return inner_->closed(); }
 void FaultyChannel::close() { inner_->close(); }
 

@@ -21,6 +21,17 @@ class Channel {
   /// Drains available incoming bytes (possibly empty).
   virtual proto::Bytes receive() = 0;
 
+  /// Readiness hint for an event loop: true when receive() would return
+  /// bytes right now. In-memory transports answer exactly; fd-backed
+  /// transports answer false ("don't know") — their readiness comes from
+  /// poll()ing poll_fd() instead.
+  [[nodiscard]] virtual bool readable() const = 0;
+
+  /// Readable-pollable file descriptor for fd-backed transports, -1 for
+  /// purely in-memory ones. The runtime reactor batches these into one
+  /// ::poll() call per scheduling round.
+  [[nodiscard]] virtual int poll_fd() const { return -1; }
+
   [[nodiscard]] virtual bool closed() const = 0;
   virtual void close() = 0;
 };
@@ -43,6 +54,8 @@ class FaultyChannel : public Channel {
 
   void send(const proto::Bytes& data) override;
   proto::Bytes receive() override;
+  [[nodiscard]] bool readable() const override;
+  [[nodiscard]] int poll_fd() const override;
   [[nodiscard]] bool closed() const override;
   void close() override;
 

@@ -1,0 +1,31 @@
+#include "runtime/clock.hpp"
+
+#include <algorithm>
+
+namespace nexit::runtime {
+
+bool TimerQueue::later(const Entry& a, const Entry& b) {
+  if (a.at != b.at) return a.at > b.at;
+  return a.seq > b.seq;
+}
+
+void TimerQueue::schedule(TimerItem item) {
+  heap_.push_back(Entry{item.at, next_seq_++, std::move(item)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Tick TimerQueue::next_deadline() const {
+  return heap_.empty() ? kNoDeadline : heap_.front().at;
+}
+
+std::vector<TimerItem> TimerQueue::expire_until(Tick now) {
+  std::vector<TimerItem> fired;
+  while (!heap_.empty() && heap_.front().at <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    fired.push_back(std::move(heap_.back().item));
+    heap_.pop_back();
+  }
+  return fired;
+}
+
+}  // namespace nexit::runtime

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace nexit::runtime {
+
+/// Virtual time of the negotiation runtime, in abstract ticks. The
+/// SessionManager advances it one tick per scheduling round while any
+/// session is ready, and jumps it straight to the next timer deadline when
+/// none is — so parked sessions cost nothing and a run's tick trace is a
+/// deterministic function of its inputs, independent of wall-clock speed or
+/// `--threads`.
+using Tick = std::uint64_t;
+
+inline constexpr Tick kNoDeadline = ~Tick{0};
+
+/// What a timer firing means to the session manager.
+enum class TimerKind : std::uint8_t {
+  kSessionStart,     // start the pending session
+  kSessionDeadline,  // re-check the session's handshake/round deadline
+  kCallback,         // run the attached scenario callback
+};
+
+struct TimerItem {
+  Tick at = 0;
+  TimerKind kind = TimerKind::kSessionDeadline;
+  std::uint32_t session = 0;           // meaningful unless kCallback
+  std::function<void(Tick)> callback;  // only for kCallback
+};
+
+/// Deterministic min-heap of timed work. Items with equal deadlines fire in
+/// insertion order (a monotone sequence number breaks ties), so the expiry
+/// sequence — and therefore everything the scenario event handlers do — is
+/// reproducible run to run.
+class TimerQueue {
+ public:
+  void schedule(TimerItem item);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Earliest deadline in the queue; kNoDeadline when empty.
+  [[nodiscard]] Tick next_deadline() const;
+
+  /// Pops every item with deadline <= now, in (deadline, insertion) order.
+  std::vector<TimerItem> expire_until(Tick now);
+
+ private:
+  struct Entry {
+    Tick at;
+    std::uint64_t seq;
+    TimerItem item;
+  };
+  /// Max-heap comparator inverted for std::push_heap: the entry that should
+  /// fire FIRST compares greatest.
+  static bool later(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nexit::runtime

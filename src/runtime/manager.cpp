@@ -1,0 +1,166 @@
+#include "runtime/manager.hpp"
+
+#include <algorithm>
+
+namespace nexit::runtime {
+
+SessionManager::SessionManager(RuntimeConfig config)
+    : config_(config), pool_(util::workers_for_threads(config.threads)) {}
+
+std::uint32_t SessionManager::add(std::unique_ptr<Session> session,
+                                  Tick start_at) {
+  const auto id = static_cast<std::uint32_t>(sessions_.size());
+  sessions_.push_back(std::move(session));
+  armed_deadline_.push_back(kNoDeadline);
+  active_.push_back(id);
+  ++stats_.sessions;
+  reactor_.timers().schedule(
+      TimerItem{std::max(start_at, clock_), TimerKind::kSessionStart, id, {}});
+  ++pending_wakes_;
+  return id;
+}
+
+void SessionManager::at(Tick when, std::function<void(Tick)> fn) {
+  reactor_.timers().schedule(
+      TimerItem{std::max(when, clock_), TimerKind::kCallback, 0, std::move(fn)});
+  ++pending_wakes_;
+}
+
+void SessionManager::refresh(std::uint32_t id) {
+  Session& s = *sessions_[id];
+  if (s.terminal()) {
+    reactor_.unwatch(id);
+    return;  // sweep_active() retires it from active_
+  }
+  if (s.status() == SessionStatus::kRunning) {
+    reactor_.watch(id, s.watch_channels());
+    const Tick due = s.deadline();
+    if (due < armed_deadline_[id]) {
+      reactor_.timers().schedule(
+          TimerItem{due, TimerKind::kSessionDeadline, id, {}});
+      armed_deadline_[id] = due;
+    }
+  }
+}
+
+void SessionManager::sweep_active() {
+  std::erase_if(active_, [this](std::uint32_t id) {
+    if (!sessions_[id]->terminal()) return false;
+    reactor_.unwatch(id);
+    return true;
+  });
+}
+
+bool SessionManager::past_horizon() {
+  if (clock_ <= config_.max_ticks) return false;
+  for (std::uint32_t id : active_)
+    sessions_[id]->cancel(clock_, "runtime horizon exceeded");
+  sweep_active();
+  return true;
+}
+
+RuntimeStats SessionManager::run() {
+  for (;;) {
+    // 1. Fire everything due at the current tick — session starts, deadline
+    // re-checks, scenario callbacks — single-threaded, in (deadline,
+    // insertion) order, so events land on time even while sessions are busy.
+    bool ran_callback = false;
+    for (TimerItem& item : reactor_.timers().expire_until(clock_)) {
+      switch (item.kind) {
+        case TimerKind::kSessionStart: {
+          --pending_wakes_;
+          Session& s = *sessions_[item.session];
+          if (s.status() == SessionStatus::kPending) {
+            s.start(clock_);
+            refresh(item.session);
+          }
+          break;
+        }
+        case TimerKind::kSessionDeadline: {
+          armed_deadline_[item.session] = kNoDeadline;  // this one just fired
+          Session& s = *sessions_[item.session];
+          if (s.status() == SessionStatus::kRunning) {
+            s.check_deadline(clock_);
+            refresh(item.session);
+          }
+          break;
+        }
+        case TimerKind::kCallback:
+          --pending_wakes_;
+          item.callback(clock_);
+          ran_callback = true;
+          break;
+      }
+    }
+    sweep_active();
+    if (ran_callback) {
+      // Callbacks may have restarted or cancelled arbitrary sessions,
+      // swapping their channels; re-register every live watch so the
+      // reactor never polls a freed channel.
+      for (std::uint32_t id : active_) {
+        if (sessions_[id]->status() == SessionStatus::kRunning)
+          reactor_.watch(id, sessions_[id]->watch_channels());
+      }
+    }
+
+    // 2. Ready set of this round: bytes waiting (reactor) plus fresh
+    // attempts that have not pumped yet. Ascending id order — part of the
+    // determinism contract.
+    std::vector<std::uint32_t> ready = reactor_.ready_now();
+    for (std::uint32_t id : active_) {
+      if (sessions_[id]->status() == SessionStatus::kRunning &&
+          sessions_[id]->needs_kick())
+        ready.push_back(id);
+    }
+    std::sort(ready.begin(), ready.end());
+    ready.erase(std::unique(ready.begin(), ready.end()), ready.end());
+    std::erase_if(ready, [this](std::uint32_t id) {
+      return sessions_[id]->status() != SessionStatus::kRunning;
+    });
+
+    if (!ready.empty()) {
+      const Tick round_now = clock_;
+      util::parallel_for(pool_, ready.size(), [this, &ready, round_now](
+                                                  std::size_t i) {
+        sessions_[ready[i]]->pump(round_now);
+      });
+      for (std::uint32_t id : ready) refresh(id);
+      sweep_active();
+      ++stats_.rounds;
+      stats_.peak_ready = std::max(stats_.peak_ready, ready.size());
+      ++clock_;
+      if (past_horizon()) break;  // busy sessions must not outrun the cap
+      continue;
+    }
+
+    // 3. Nothing readable: park — jump the clock to the next timer. The run
+    // is over when no session is live and no start/callback remains:
+    // scenario callbacks scheduled past the last completion still fire (a
+    // link can fail after every negotiation concluded — that spawns new
+    // sessions), but stale deadline timers for finished sessions do not
+    // keep the clock alive.
+    if (active_.empty() && pending_wakes_ == 0) break;
+    const Tick next = reactor_.timers().next_deadline();
+    if (next == kNoDeadline) break;  // nothing left that could ever wake us
+    clock_ = std::max(clock_, next);
+    if (past_horizon()) break;
+  }
+
+  stats_.final_tick = clock_;
+  stats_.done = stats_.failed = stats_.cancelled = 0;
+  stats_.total_steps = 0;
+  stats_.messages = 0;
+  for (const auto& s : sessions_) {
+    switch (s->status()) {
+      case SessionStatus::kDone: ++stats_.done; break;
+      case SessionStatus::kFailed: ++stats_.failed; break;
+      case SessionStatus::kCancelled: ++stats_.cancelled; break;
+      default: break;
+    }
+    stats_.total_steps += s->steps();
+    stats_.messages += s->messages_sent();
+  }
+  return stats_;
+}
+
+}  // namespace nexit::runtime

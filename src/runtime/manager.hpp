@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/reactor.hpp"
+#include "runtime/session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nexit::runtime {
+
+struct RuntimeConfig {
+  /// Worker threads for pumping ready sessions, with the experiment engines'
+  /// contract: 0 = auto-detect, 1 = serial, N = N workers — and outcomes are
+  /// bit-identical for every value (in-memory transports; see README).
+  std::size_t threads = 1;
+  /// Virtual-clock horizon: sessions still live past this tick are cancelled
+  /// (guards mis-declared scenarios, not ordinary runs — healthy sessions
+  /// finish in a handful of ticks).
+  Tick max_ticks = 1u << 20;
+};
+
+struct RuntimeStats {
+  std::size_t sessions = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  /// Scheduling rounds in which at least one session was pumped.
+  std::size_t rounds = 0;
+  /// Most sessions pumped in a single round (the achievable parallelism).
+  std::size_t peak_ready = 0;
+  std::size_t total_steps = 0;
+  std::uint64_t messages = 0;
+  Tick final_tick = 0;
+};
+
+/// Drives a population of Sessions to completion over a shared Reactor and
+/// virtual clock. Each scheduling round: collect the ready set (buffered
+/// bytes, one ::poll() for fd transports, fresh attempts needing a kick),
+/// pump every ready session in parallel on the thread pool, then do all
+/// bookkeeping single-threaded in ascending session-id order. When nothing
+/// is ready the clock jumps straight to the next timer — idle sessions cost
+/// nothing.
+///
+/// Determinism: the ready set is computed before the round's barrier and
+/// processed in id order, sessions share no mutable state, and all timer /
+/// scenario callbacks run single-threaded between rounds — so a run's
+/// outcomes are bit-identical for every `threads` value.
+class SessionManager {
+ public:
+  explicit SessionManager(RuntimeConfig config = {});
+
+  /// Takes ownership; the session starts at virtual tick `start_at`
+  /// (staggered starts are just increasing start_at values). Returns the
+  /// session id. May be called mid-run from an at() callback — renegotiation
+  /// sessions are spawned exactly this way.
+  std::uint32_t add(std::unique_ptr<Session> session, Tick start_at = 0);
+
+  /// Runs `fn(now)` when the virtual clock reaches `when` (single-threaded,
+  /// deterministic order). Scenario timelines are built from these.
+  void at(Tick when, std::function<void(Tick)> fn);
+
+  /// Drives every session to a terminal state. Callable again after adding
+  /// more sessions.
+  RuntimeStats run();
+
+  [[nodiscard]] Session& session(std::uint32_t id) { return *sessions_.at(id); }
+  [[nodiscard]] const Session& session(std::uint32_t id) const {
+    return *sessions_.at(id);
+  }
+  [[nodiscard]] std::size_t size() const { return sessions_.size(); }
+  [[nodiscard]] Tick now() const { return clock_; }
+
+ private:
+  /// Post-touch bookkeeping: refresh the reactor watch and deadline timer,
+  /// or retire the session if it went terminal.
+  void refresh(std::uint32_t id);
+  void sweep_active();
+  /// True once the clock passed max_ticks; cancels whatever is still live.
+  bool past_horizon();
+
+  RuntimeConfig config_;
+  util::ThreadPool pool_;
+  Reactor reactor_;
+  std::vector<std::unique_ptr<Session>> sessions_;  // id == index
+  /// Earliest scheduled-but-unfired kSessionDeadline tick per session
+  /// (kNoDeadline = none). A new timer is armed only when the session's real
+  /// deadline precedes it; a firing that turns out early (progress moved the
+  /// deadline later) is a no-op re-armed at the real deadline. Keeps the
+  /// heap at O(sessions), not one dead entry per pump.
+  std::vector<Tick> armed_deadline_;
+  std::vector<std::uint32_t> active_;               // non-terminal ids, sorted
+  /// Scheduled kSessionStart/kCallback items not yet fired. When no session
+  /// is live, only these can create work — stale deadline timers cannot —
+  /// so the run ends as soon as both are exhausted.
+  std::size_t pending_wakes_ = 0;
+  Tick clock_ = 0;
+  RuntimeStats stats_;
+};
+
+}  // namespace nexit::runtime

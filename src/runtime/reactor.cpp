@@ -1,0 +1,69 @@
+#include "runtime/reactor.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+
+namespace nexit::runtime {
+
+void Reactor::watch(std::uint32_t session,
+                    std::vector<const agent::Channel*> incoming) {
+  watches_[session] = std::move(incoming);
+}
+
+void Reactor::unwatch(std::uint32_t session) { watches_.erase(session); }
+
+std::vector<std::uint32_t> Reactor::ready_now() const {
+  std::vector<std::uint32_t> ready;
+  std::vector<pollfd> fds;
+  std::vector<std::uint32_t> fd_owner;  // session of fds[i]
+
+  for (const auto& [session, channels] : watches_) {
+    bool is_ready = false;
+    for (const agent::Channel* ch : channels) {
+      if (ch->readable()) {
+        is_ready = true;
+        break;
+      }
+    }
+    if (is_ready) {
+      ready.push_back(session);
+      continue;
+    }
+    for (const agent::Channel* ch : channels) {
+      const int fd = ch->poll_fd();
+      if (fd >= 0) {
+        fds.push_back(pollfd{fd, POLLIN, 0});
+        fd_owner.push_back(session);
+      }
+    }
+  }
+
+  if (!fds.empty()) {
+    int rc;
+    do {
+      rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 0);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      // Swallowing this would read as "nothing ready" and every fd-backed
+      // session would quietly die by round timeout — surface it instead
+      // (EINVAL here usually means nfds exceeds RLIMIT_NOFILE).
+      throw std::system_error(errno, std::generic_category(),
+                              "Reactor: poll over watched channels failed");
+    }
+    if (rc > 0) {
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+          ready.push_back(fd_owner[i]);
+      }
+    }
+  }
+
+  std::sort(ready.begin(), ready.end());
+  ready.erase(std::unique(ready.begin(), ready.end()), ready.end());
+  return ready;
+}
+
+}  // namespace nexit::runtime

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "agent/channel.hpp"
+#include "runtime/clock.hpp"
+
+namespace nexit::runtime {
+
+/// Readiness multiplexer for the session runtime: answers "which watched
+/// sessions have bytes waiting right now?" without stepping anyone.
+///
+/// Two sources of readiness are merged:
+///  - in-memory channels report buffered bytes directly (Channel::readable),
+///  - fd-backed channels (AF_UNIX socketpairs) are gathered into a single
+///    non-blocking ::poll() call per scheduling round.
+///
+/// The reactor also owns the virtual-clock TimerQueue: when nothing is
+/// readable, the session manager jumps the clock to the reactor's next
+/// timer deadline instead of busy-stepping idle sessions.
+class Reactor {
+ public:
+  /// (Re-)registers the channels whose incoming side belongs to `session`.
+  /// Pointers must stay valid until the next watch()/unwatch() for the id —
+  /// sessions re-register after every attempt because retries swap channels.
+  void watch(std::uint32_t session,
+             std::vector<const agent::Channel*> incoming);
+  void unwatch(std::uint32_t session);
+
+  [[nodiscard]] std::size_t watched() const { return watches_.size(); }
+
+  /// Session ids with bytes waiting, in ascending id order (the order is
+  /// part of the runtime's determinism contract). Issues at most one
+  /// ::poll() syscall, with zero timeout.
+  [[nodiscard]] std::vector<std::uint32_t> ready_now() const;
+
+  TimerQueue& timers() { return timers_; }
+  [[nodiscard]] const TimerQueue& timers() const { return timers_; }
+
+ private:
+  std::map<std::uint32_t, std::vector<const agent::Channel*>> watches_;
+  TimerQueue timers_;
+};
+
+}  // namespace nexit::runtime

@@ -60,8 +60,10 @@ std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) cons
   errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(value.c_str(), &end, 10);
-  if (value.empty() || *end != '\0' || errno == ERANGE)
+  if (value.empty() || *end != '\0' || errno == ERANGE) {
+    if (help_requested()) return fallback;
     die_bad_value(name, value, "an integer");
+  }
   return parsed;
 }
 
@@ -75,8 +77,10 @@ double Flags::get_double(const std::string& name, double fallback) const {
   // ERANGE alone is not malformed: glibc also sets it on underflow to a
   // representable denormal (e.g. "1e-310"). Overflow and explicit
   // "inf"/"nan" spellings are rejected — no experiment flag means them.
-  if (value.empty() || *end != '\0' || !std::isfinite(parsed))
+  if (value.empty() || *end != '\0' || !std::isfinite(parsed)) {
+    if (help_requested()) return fallback;
     die_bad_value(name, value, "a finite number");
+  }
   return parsed;
 }
 
@@ -87,6 +91,7 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   const std::string& value = it->second;
   if (value == "true" || value == "1" || value == "yes") return true;
   if (value == "false" || value == "0" || value == "no") return false;
+  if (help_requested()) return fallback;
   die_bad_value(name, value, "a boolean (true/false/1/0/yes/no)");
 }
 
@@ -101,7 +106,27 @@ std::vector<std::string> Flags::queried() const {
   return {queried_.begin(), queried_.end()};
 }
 
+std::size_t get_count(const Flags& flags, const std::string& name,
+                      std::size_t fallback, std::size_t max_value) {
+  const std::int64_t v =
+      flags.get_int(name, static_cast<std::int64_t>(fallback));
+  if (v < 0 || static_cast<std::uint64_t>(v) > max_value) {
+    if (flags.help_requested()) return fallback;
+    std::cerr << "error: --" << name << " expects an integer in [0, "
+              << max_value << "], got " << v << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
+}
+
 void reject_unknown(const Flags& flags) {
+  if (flags.has("help")) {
+    std::cout << "usage: flags are spelled --name=value; this binary reads:\n";
+    for (const std::string& name : flags.queried()) {
+      if (name != "help") std::cout << "  --" << name << "\n";
+    }
+    std::exit(0);
+  }
   const std::vector<std::string> unknown = flags.unknown();
   const std::vector<std::string>& positional = flags.positional();
   if (unknown.empty() && positional.empty()) return;

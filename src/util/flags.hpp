@@ -23,6 +23,12 @@ class Flags {
   Flags(int argc, char** argv);
 
   [[nodiscard]] bool has(const std::string& name) const;
+
+  /// True when --help is on the command line. While a help run is in
+  /// flight, malformed values of known flags return their fallbacks instead
+  /// of aborting — `prog --help --seed=abc` must help, not die — and
+  /// reject_unknown() then prints the flag list and exits 0.
+  [[nodiscard]] bool help_requested() const { return values_.count("help") > 0; }
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
@@ -51,10 +57,21 @@ class Flags {
   mutable std::set<std::string> queried_;
 };
 
-/// Aborts (exit 2) if the command line carried flags the binary never read,
-/// or positional arguments (no binary in this repo takes any, so `-seed=7`
-/// — one dash — is a typo, not an operand). Call once, after every
-/// get_*/has call, so a typo cannot silently fall back to defaults.
+/// Non-negative count flag bounded to [0, max_value]: out-of-range values
+/// exit 2 naming the flag (instead of wrapping around through a size_t
+/// cast), except during a --help run, which returns `fallback` so the help
+/// text stays reachable. Shared by the bench harness and the examples.
+std::size_t get_count(const Flags& flags, const std::string& name,
+                      std::size_t fallback, std::size_t max_value);
+
+/// Finishes flag handling; call once, after every get_*/has call (only then
+/// is the full set of understood flags known). Two behaviours:
+///  - `--help`: prints the flags this binary reads and exits 0 — the
+///    discoverable twin of the error path below.
+///  - Aborts (exit 2) if the command line carried flags the binary never
+///    read, or positional arguments (no binary in this repo takes any, so
+///    `-seed=7` — one dash — is a typo, not an operand), so a typo cannot
+///    silently fall back to defaults.
 void reject_unknown(const Flags& flags);
 
 }  // namespace nexit::util

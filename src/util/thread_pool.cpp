@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace nexit::util {
@@ -92,6 +93,11 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 }
 
 std::size_t workers_for_threads(std::size_t threads) {
+  // Backstop against unvalidated flag casts: a -1 forced through size_t
+  // must become a clear error, not a 2^64-thread reserve() abort.
+  if (threads > 4096)
+    throw std::invalid_argument(
+        "workers_for_threads: implausible thread count (unvalidated flag?)");
   if (threads == 0) threads = ThreadPool::hardware_threads();
   return threads == 1 ? 0 : threads;
 }

@@ -69,7 +69,8 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 
 /// Maps a user-facing `--threads` value to a worker count: 0 means
 /// auto-detect, 1 means run serially (no worker threads), N>1 means N
-/// workers.
+/// workers. Throws std::invalid_argument for counts over 4096 — the
+/// signature a negative flag value forced through a size_t cast leaves.
 std::size_t workers_for_threads(std::size_t threads);
 
 }  // namespace nexit::util

@@ -47,6 +47,24 @@ TEST(Channel, SocketPairDelivery) {
   EXPECT_EQ(got, (proto::Bytes{5, 6, 7}));
 }
 
+TEST(Channel, SocketDeliversPayloadsLargerThanTheKernelBuffer) {
+  // A send exceeding SO_SNDBUF must queue the overflow and drain it via
+  // later send()/receive() calls — not busy-spin on EAGAIN, which deadlocks
+  // when both endpoints are pumped by the same thread (runtime sessions).
+  auto [a, b] = make_socket_channel_pair();
+  proto::Bytes big(1u << 20);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  a->send(big);  // far beyond a default AF_UNIX buffer; must not hang
+  proto::Bytes got;
+  for (int i = 0; i < 1000 && got.size() < big.size(); ++i) {
+    (void)a->receive();  // flushes a's queued overflow
+    const proto::Bytes chunk = b->receive();
+    got.insert(got.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(got, big);
+}
+
 TEST(Channel, FaultyDropsEverythingAtP1) {
   auto [a, b] = make_in_memory_channel_pair();
   FaultyChannel lossy(std::move(a), /*drop=*/1.0, /*corrupt=*/0.0, 1);

@@ -99,6 +99,15 @@ TEST(WorkersForThreads, MapsUserFacingValues) {
             workers_for_threads(ThreadPool::hardware_threads()));
 }
 
+TEST(WorkersForThreads, RejectsImplausibleCounts) {
+  // A negative flag value forced through a size_t cast must be a clear
+  // error, not a 2^64-element vector reserve.
+  EXPECT_THROW(workers_for_threads(static_cast<std::size_t>(-1)),
+               std::invalid_argument);
+  EXPECT_THROW(workers_for_threads(5000), std::invalid_argument);
+  EXPECT_EQ(workers_for_threads(4096), 4096u);  // the documented bound
+}
+
 // ---------------------------------------------------------------------------
 // Determinism: the experiment engines must produce bit-identical samples for
 // every thread count (the per-pair Rng streams are pre-forked serially).

@@ -303,5 +303,47 @@ TEST(Flags, QueriedListsWhatTheBinaryReads) {
   EXPECT_EQ(queried[1], "seed");
 }
 
+TEST(FlagsDeathTest, HelpPrintsTheQueriedFlagsAndExitsZero) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f(2, const_cast<char**>(argv));
+  (void)f.get_int("seed", 0);
+  (void)f.get_int("pairs", 60);
+  EXPECT_EXIT(reject_unknown(f), ::testing::ExitedWithCode(0),
+              "");  // message goes to stdout, not the death-test stderr
+}
+
+TEST(FlagsDeathTest, HelpWinsOverUnknownFlags) {
+  // Discoverability beats strictness: `prog --help --whatever` should help,
+  // not abort.
+  const char* argv[] = {"prog", "--help", "--whatever=1"};
+  Flags f(3, const_cast<char**>(argv));
+  (void)f.get_int("seed", 0);
+  EXPECT_EXIT(reject_unknown(f), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(FlagsDeathTest, GetCountBoundsAndHelpFallback) {
+  const char* argv[] = {"prog", "--sessions=-1"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT((void)get_count(f, "sessions", 5, 1000),
+              ::testing::ExitedWithCode(2), "--sessions expects an integer");
+  const char* ok_argv[] = {"prog", "--sessions=42"};
+  Flags ok(2, const_cast<char**>(ok_argv));
+  EXPECT_EQ(get_count(ok, "sessions", 5, 1000), 42u);
+  // A help run returns the fallback instead of dying on the bad value.
+  const char* help_argv[] = {"prog", "--help", "--sessions=-1"};
+  Flags h(3, const_cast<char**>(help_argv));
+  EXPECT_EQ(get_count(h, "sessions", 5, 1000), 5u);
+}
+
+TEST(FlagsDeathTest, HelpWinsOverMalformedValues) {
+  // `prog --help --seed=abc` must reach the help text, not die in get_int.
+  const char* argv[] = {"prog", "--help", "--seed=abc", "--p=x", "--b=ture"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_int("seed", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0.5), 0.5);
+  EXPECT_FALSE(f.get_bool("b", false));
+  EXPECT_EXIT(reject_unknown(f), ::testing::ExitedWithCode(0), "");
+}
+
 }  // namespace
 }  // namespace nexit::util
