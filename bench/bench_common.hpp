@@ -19,8 +19,10 @@
 // JSON-enabled benches accept `--json=<path>` (see JsonReport below) to
 // record config + metrics machine-readably.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -179,6 +181,24 @@ class JsonReport {
   Entries config_;
   Entries metrics_;
 };
+
+/// FNV-1a scaffolding for the determinism digests several benches print
+/// (runtime_throughput, fig7_bandwidth_mel, micro_incremental): one place
+/// for the constants so the digest scheme cannot drift between binaries.
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Bit pattern of a double, for hashing exact values (not rounded text).
+inline std::uint64_t double_bits(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof u);
+  return u;
+}
 
 /// Records the universe knobs every sweep bench shares.
 inline void record_universe(JsonReport& json, const sim::UniverseConfig& u,

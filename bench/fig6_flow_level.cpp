@@ -4,11 +4,14 @@
 // gain >50%); negotiation catches almost all flows that need optimisation;
 // only ~20% of flows need non-default routes.
 
+#include <chrono>
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
   using namespace nexit;
   util::Flags flags(argc, argv);
+  bench::JsonReport json(flags, "fig6_flow_level");
 
   sim::DistanceExperimentConfig cfg;
   cfg.universe = bench::universe_from_flags(flags);
@@ -19,7 +22,12 @@ int main(int argc, char** argv) {
 
   sim::print_bench_header("Figure 6", "flow-level gains of optimal and negotiated routing",
                           bench::universe_summary(cfg.universe));
+  const auto t0 = std::chrono::steady_clock::now();
   const auto samples = sim::run_distance_experiment(cfg);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
 
   util::Cdf flow_opt, flow_neg;
   std::size_t flows = 0, moved = 0;
@@ -59,5 +67,31 @@ int main(int argc, char** argv) {
       "only a minority of flows needs non-default routing (paper ~20%)",
       std::to_string(100.0 * moved / flows) + "% of flows moved off default",
       moved < flows / 2);
+
+  std::size_t calls_full = 0, calls_inc = 0, rows = 0, rows_full_eq = 0;
+  for (const auto& s : samples) {
+    calls_full += s.eval_calls_full;
+    calls_inc += s.eval_calls_incremental;
+    rows += s.eval_rows_computed;
+    rows_full_eq += s.eval_rows_full_equivalent;
+  }
+  std::printf(
+      "\nwall-clock %.1f ms; evaluate calls %zu full + %zu incremental; "
+      "preference rows %zu of %zu full-equivalent\n",
+      wall_ms, calls_full, calls_inc, rows, rows_full_eq);
+
+  bench::record_universe(json, cfg.universe, cfg.threads);
+  json.metric("wall_ms", wall_ms);
+  json.metric("samples", static_cast<std::int64_t>(samples.size()));
+  json.metric("flows", static_cast<std::int64_t>(flows));
+  json.metric("flows_moved", static_cast<std::int64_t>(moved));
+  json.metric("eval_calls_full", static_cast<std::int64_t>(calls_full));
+  json.metric("eval_calls_incremental", static_cast<std::int64_t>(calls_inc));
+  json.metric("eval_rows_computed", static_cast<std::int64_t>(rows));
+  json.metric("eval_rows_full_equivalent",
+              static_cast<std::int64_t>(rows_full_eq));
+  json.metric_cdf("flow_gain_pct.negotiated", flow_neg);
+  json.metric_cdf("flow_gain_pct.optimal", flow_opt);
+  json.write();
   return 0;
 }

@@ -1,0 +1,256 @@
+// A/B microbench for the incremental evaluation layer: runs the same
+// post-failure bandwidth negotiations twice — once with full per-quantum
+// oracle recomputes, once with incremental evaluation — asserts the outcomes
+// are bit-identical, and reports wall-clock plus the evaluate-call work
+// (rows recomputed vs the full-recompute equivalent). A second section
+// measures LoadMap maintenance in isolation: full compute_loads() rebuild
+// after every move versus IncrementalLoads::apply_move().
+//
+// Flags: --isps --pairs --seed --pop-min --pop-max --pref-range (common),
+//        --reassign (quantum fraction, default 0.05),
+//        --repeat (timing repetitions per mode, default 3),
+//        --moves (loads-microbench move count, default 2000), --json=PATH.
+
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "capacity/capacity.hpp"
+#include "core/oracles.hpp"
+#include "routing/incremental_loads.hpp"
+
+namespace {
+
+using namespace nexit;
+using bench::double_bits;
+using bench::fnv1a_mix;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::uint64_t outcome_digest(const core::NegotiationOutcome& o) {
+  std::uint64_t h = bench::kFnvOffsetBasis;
+  for (std::size_t ix : o.assignment.ix_of_flow) h = fnv1a_mix(h, ix);
+  h = fnv1a_mix(h, double_bits(o.true_gain_a));
+  h = fnv1a_mix(h, double_bits(o.true_gain_b));
+  h = fnv1a_mix(h, o.rounds);
+  h = fnv1a_mix(h, o.flows_moved);
+  return h;
+}
+
+std::uint64_t loadmap_digest(const routing::LoadMap& m) {
+  std::uint64_t h = bench::kFnvOffsetBasis;
+  for (int s = 0; s < 2; ++s)
+    for (double v : m.per_side[static_cast<std::size_t>(s)])
+      h = fnv1a_mix(h, double_bits(v));
+  return h;
+}
+
+struct ModeStats {
+  double wall_ms = 0.0;
+  std::size_t calls_full = 0;
+  std::size_t calls_incremental = 0;
+  std::size_t rows_computed = 0;
+  std::size_t rows_full_equivalent = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  bench::JsonReport json(flags, "micro_incremental");
+
+  sim::UniverseConfig ucfg = bench::universe_from_flags(flags);
+  ucfg.isp_count = static_cast<std::size_t>(flags.get_int("isps", 20));
+  ucfg.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 8));
+  ucfg.generator.min_pops = static_cast<std::size_t>(flags.get_int("pop-min", 10));
+  ucfg.generator.max_pops = static_cast<std::size_t>(flags.get_int("pop-max", 18));
+  core::NegotiationConfig base = bench::negotiation_from_flags(flags);
+  base.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
+  const std::size_t repeat = bench::size_from_flags(flags, "repeat", 3, 1000);
+  const std::size_t micro_moves =
+      bench::size_from_flags(flags, "moves", 2000, 10000000);
+  bench::reject_unknown_flags(flags);
+
+  sim::print_bench_header(
+      "micro_incremental",
+      "incremental vs full oracle re-evaluation on the bandwidth hot path",
+      bench::universe_summary(ucfg));
+
+  const std::vector<topology::IspPair> pairs = sim::build_pair_universe(ucfg, 3);
+  util::Rng seed_rng(ucfg.seed ^ 0x10c4ed0adull);
+
+  ModeStats full_mode, inc_mode;
+  std::size_t samples = 0;
+  bool digests_match = true;
+
+  for (const topology::IspPair& pair : pairs) {
+    const routing::PairRouting routing(pair);
+    util::Rng traffic_rng(seed_rng.next_u64());
+    traffic::TrafficConfig tcfg;
+    const traffic::TrafficMatrix tm = traffic::TrafficMatrix::build(
+        pair, traffic::Direction::kAtoB, tcfg, traffic_rng);
+    std::vector<std::size_t> all_ix(pair.interconnection_count());
+    for (std::size_t i = 0; i < all_ix.size(); ++i) all_ix[i] = i;
+    const routing::Assignment pre_failure =
+        routing::assign_early_exit(routing, tm.flows(), all_ix);
+    const routing::LoadMap baseline =
+        routing::compute_loads(routing, tm.flows(), pre_failure);
+    const routing::LoadMap caps =
+        capacity::assign_capacities(baseline, capacity::CapacityConfig{});
+
+    for (std::size_t failed = 0; failed < pair.interconnection_count();
+         ++failed) {
+      core::NegotiationProblem problem;
+      try {
+        problem = core::make_failure_problem(routing, tm.flows(), failed);
+      } catch (const std::invalid_argument&) {
+        continue;
+      }
+      if (problem.negotiable.empty()) continue;
+      const std::uint64_t engine_seed = seed_rng.next_u64();
+      ++samples;
+
+      std::uint64_t digest[2] = {0, 0};
+      for (int mode = 0; mode < 2; ++mode) {
+        const bool incremental = mode == 1;
+        ModeStats& stats = incremental ? inc_mode : full_mode;
+        for (std::size_t rep = 0; rep < repeat; ++rep) {
+          core::BandwidthOracle a(0, base.preferences, caps);
+          core::BandwidthOracle b(1, base.preferences, caps);
+          core::NegotiationConfig ncfg = base;
+          ncfg.seed = engine_seed;
+          ncfg.incremental_evaluation = incremental;
+          // Honest A/B timing even from a debug tree: the digest comparison
+          // below is this bench's correctness check, not the engine audit.
+          ncfg.verify_incremental_every = -1;
+          const auto t0 = Clock::now();
+          core::NegotiationEngine engine(problem, a, b, ncfg);
+          const core::NegotiationOutcome out = engine.run();
+          stats.wall_ms += ms_since(t0);
+          if (rep == 0) {
+            digest[mode] = outcome_digest(out);
+            stats.calls_full += out.evaluate_calls_full;
+            stats.calls_incremental += out.evaluate_calls_incremental;
+            stats.rows_computed += out.evaluate_rows_computed;
+            stats.rows_full_equivalent += out.evaluate_rows_full_equivalent;
+          }
+        }
+      }
+      if (digest[0] != digest[1]) {
+        digests_match = false;
+        std::cerr << "DIGEST MISMATCH: " << pair.label() << " failure "
+                  << failed << "\n";
+      }
+    }
+  }
+
+  if (samples == 0) {
+    std::cerr << "no usable (pair, failure) samples generated\n";
+    return 2;
+  }
+
+  std::cout << "samples: " << samples << " failed interconnections, x"
+            << repeat << " repetitions per mode\n\n";
+  const auto report_mode = [](const char* name, const ModeStats& m) {
+    std::cout << name << ": " << m.wall_ms << " ms total, "
+              << m.rows_computed << " preference rows recomputed ("
+              << m.calls_full << " full + " << m.calls_incremental
+              << " incremental evaluate calls, full-equivalent "
+              << m.rows_full_equivalent << " rows)\n";
+  };
+  report_mode("full recompute        ", full_mode);
+  report_mode("incremental evaluation", inc_mode);
+  const double speedup =
+      inc_mode.wall_ms > 0.0 ? full_mode.wall_ms / inc_mode.wall_ms : 0.0;
+  const double row_fraction =
+      inc_mode.rows_full_equivalent > 0
+          ? static_cast<double>(inc_mode.rows_computed) /
+                static_cast<double>(inc_mode.rows_full_equivalent)
+          : 1.0;
+  std::cout << "\n";
+  sim::paper_check("incremental results are bit-identical to full recompute",
+                   digests_match ? "all outcome digests match"
+                                 : "digest mismatch (BUG)",
+                   digests_match);
+  sim::paper_check(
+      "negotiation no longer does full per-round recomputes",
+      std::to_string(100.0 * row_fraction) +
+          "% of the full-recompute row work performed, speedup x" +
+          std::to_string(speedup),
+      row_fraction < 0.95);
+
+  // --- LoadMap maintenance in isolation ------------------------------------
+  // Random moves of negotiable flows on the first usable pair: a full
+  // compute_loads() rebuild after every move versus apply_move() + loads().
+  double rebuild_ms = 0.0, apply_ms = 0.0;
+  bool loads_match = true;
+  {
+    const topology::IspPair& pair = pairs.front();
+    const routing::PairRouting routing(pair);
+    util::Rng traffic_rng(ucfg.seed ^ 0x10adf10adull);
+    traffic::TrafficConfig tcfg;
+    const traffic::TrafficMatrix tm = traffic::TrafficMatrix::build(
+        pair, traffic::Direction::kAtoB, tcfg, traffic_rng);
+    std::vector<std::size_t> all_ix(pair.interconnection_count());
+    for (std::size_t i = 0; i < all_ix.size(); ++i) all_ix[i] = i;
+    routing::Assignment assignment =
+        routing::assign_early_exit(routing, tm.flows(), all_ix);
+
+    util::Rng move_rng(ucfg.seed ^ 0xabcdefull);
+    std::vector<std::pair<std::size_t, std::size_t>> moves(micro_moves);
+    for (auto& mv : moves) {
+      mv.first = static_cast<std::size_t>(move_rng.next_u64()) % tm.size();
+      mv.second =
+          static_cast<std::size_t>(move_rng.next_u64()) % all_ix.size();
+    }
+
+    routing::Assignment a1 = assignment;
+    routing::LoadMap rebuilt = routing::compute_loads(routing, tm.flows(), a1);
+    const auto t0 = Clock::now();
+    for (const auto& mv : moves) {
+      a1.ix_of_flow[mv.first] = mv.second;
+      rebuilt = routing::compute_loads(routing, tm.flows(), a1);
+    }
+    rebuild_ms = ms_since(t0);
+
+    routing::IncrementalLoads inc(routing, tm.flows());
+    inc.rebuild(assignment, nullptr);
+    const auto t1 = Clock::now();
+    for (const auto& mv : moves) {
+      inc.move_flow(mv.first, mv.second);
+      (void)inc.loads();
+    }
+    apply_ms = ms_since(t1);
+    loads_match = loadmap_digest(rebuilt) == loadmap_digest(inc.loads());
+  }
+  std::cout << "\nLoadMap maintenance over " << micro_moves
+            << " moves: full rebuild " << rebuild_ms
+            << " ms vs apply_move " << apply_ms << " ms\n";
+  sim::paper_check("apply_move() loads are bit-identical to compute_loads()",
+                   loads_match ? "digests match" : "digest mismatch (BUG)",
+                   loads_match);
+
+  bench::record_universe(json, ucfg, 1);
+  json.config("reassign", base.reassign_traffic_fraction);
+  json.config("repeat", static_cast<std::int64_t>(repeat));
+  json.config("moves", static_cast<std::int64_t>(micro_moves));
+  json.metric("samples", static_cast<std::int64_t>(samples));
+  json.metric("digest_match", static_cast<std::int64_t>(digests_match ? 1 : 0));
+  json.metric("wall_ms_full", full_mode.wall_ms);
+  json.metric("wall_ms_incremental", inc_mode.wall_ms);
+  json.metric("speedup", speedup);
+  json.metric("eval_rows_full_mode",
+              static_cast<std::int64_t>(full_mode.rows_computed));
+  json.metric("eval_rows_incremental_mode",
+              static_cast<std::int64_t>(inc_mode.rows_computed));
+  json.metric("eval_rows_full_equivalent",
+              static_cast<std::int64_t>(inc_mode.rows_full_equivalent));
+  json.metric("eval_row_fraction", row_fraction);
+  json.metric("loads_ms_rebuild", rebuild_ms);
+  json.metric("loads_ms_apply_move", apply_ms);
+  json.metric("loads_match", static_cast<std::int64_t>(loads_match ? 1 : 0));
+  json.write();
+  return digests_match && loads_match ? 0 : 1;
+}

@@ -38,11 +38,8 @@ namespace {
 /// FNV-1a over every session's terminal state and assignment: any
 /// scheduling-dependent divergence shows up as a different digest.
 std::uint64_t outcome_digest(const runtime::ScenarioReport& report) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 1099511628211ull;
-  };
+  std::uint64_t h = nexit::bench::kFnvOffsetBasis;
+  const auto mix = [&h](std::uint64_t v) { h = nexit::bench::fnv1a_mix(h, v); };
   for (const auto& s : report.sessions) {
     mix(static_cast<std::uint64_t>(s.status));
     mix(s.messages);

@@ -151,6 +151,9 @@ void NegotiationAgent::send_pref_advert(bool reassignment) {
 void NegotiationAgent::send_handshake() {
   const core::OracleContext ctx{&problem_, &tentative_, &remaining_};
   truth_ = oracle_->evaluate(ctx);
+  ++outcome_.evaluate_calls_full;
+  outcome_.evaluate_rows_computed += truth_.rows_recomputed;
+  outcome_.evaluate_rows_full_equivalent += problem_.negotiable.size();
   // Honest disclosure on the wire; remote truth is unknowable here, so the
   // decorator hook gets our own classes as a stand-in (honest oracles ignore
   // the argument entirely).
@@ -252,8 +255,17 @@ void NegotiationAgent::handle_handshake_message(const proto::Message& m) {
 
 void NegotiationAgent::apply_accept(std::size_t pos, std::size_t ci) {
   const std::size_t ix = problem_.candidates[ci];
-  for (std::size_t flow_index : problem_.members_of(pos))
+  // Delta bookkeeping feeds evaluate_incremental(); skip it when full
+  // recomputes were requested (mirrors NegotiationEngine).
+  const bool record_delta = config_.negotiation.incremental_evaluation;
+  for (std::size_t flow_index : problem_.members_of(pos)) {
+    const std::size_t from = tentative_.ix_of_flow[flow_index];
+    if (record_delta && from != ix)
+      pending_delta_.moves.push_back(
+          core::EvaluationDelta::Move{flow_index, from, ix});
     tentative_.ix_of_flow[flow_index] = ix;
+  }
+  if (record_delta) pending_delta_.settled_positions.push_back(pos);
   if (ix != problem_.default_ix(pos))
     accepted_moves_.push_back(AcceptedMove{pos, ci, truth_.true_value[pos][ci], false});
   true_gain_ += truth_.true_value[pos][ci];
@@ -278,10 +290,18 @@ void NegotiationAgent::maybe_trigger_reassignment() {
   ++outcome_.reassignments;
   if (oracle_->wants_reassignment()) {
     const core::OracleContext ctx{&problem_, &tentative_, &remaining_};
-    truth_ = oracle_->evaluate(ctx);
+    truth_ = config_.negotiation.incremental_evaluation
+                 ? oracle_->evaluate_incremental(ctx, pending_delta_)
+                 : oracle_->evaluate(ctx);
+    ++(config_.negotiation.incremental_evaluation
+           ? outcome_.evaluate_calls_incremental
+           : outcome_.evaluate_calls_full);
+    outcome_.evaluate_rows_computed += truth_.rows_recomputed;
+    outcome_.evaluate_rows_full_equivalent += problem_.negotiable.size();
     my_disclosed_ = oracle_->disclose(ctx, truth_.classes, remote_disclosed_);
     send_pref_advert(true);
   }
+  pending_delta_.clear();
   awaiting_remote_advert_ = remote_hello_.wants_reassignment;
 }
 

@@ -109,6 +109,11 @@ class NegotiationAgent {
   int disclosed_gain_[2] = {0, 0};  // by side, from disclosed lists
   std::size_t remaining_count_ = 0;
   std::size_t round_ = 0;
+  /// Accepted moves + settles since this side's last oracle evaluation;
+  /// consumed by evaluate_incremental() at the next reassignment quantum
+  /// (same contract as NegotiationEngine, so wire sessions stay bit-
+  /// identical to in-process runs).
+  core::EvaluationDelta pending_delta_;
   double volume_since_reassign_ = 0.0;
   double reassign_quantum_ = 0.0;
   bool awaiting_remote_advert_ = false;

@@ -14,6 +14,11 @@ Evaluation CheatingOracle::evaluate(const OracleContext& ctx) {
   return inner_->evaluate(ctx);
 }
 
+Evaluation CheatingOracle::evaluate_incremental(const OracleContext& ctx,
+                                                const EvaluationDelta& delta) {
+  return inner_->evaluate_incremental(ctx, delta);
+}
+
 bool CheatingOracle::wants_reassignment() const {
   return inner_->wants_reassignment();
 }

@@ -26,6 +26,8 @@ class CheatingOracle : public PreferenceOracle {
   CheatingOracle(PreferenceOracle& inner, int range);
 
   Evaluation evaluate(const OracleContext& ctx) override;
+  Evaluation evaluate_incremental(const OracleContext& ctx,
+                                  const EvaluationDelta& delta) override;
   PreferenceList disclose(const OracleContext& ctx,
                           const PreferenceList& own_truth,
                           const PreferenceList& remote_truth) override;

@@ -1,9 +1,35 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace nexit::core {
+
+namespace {
+
+/// Bit-level equality of two evaluations (telemetry fields excluded): the
+/// contract evaluate_incremental() must honour versus a full recompute.
+bool same_evaluation_bits(const Evaluation& a, const Evaluation& b) {
+  if (a.true_value.size() != b.true_value.size()) return false;
+  for (std::size_t i = 0; i < a.true_value.size(); ++i) {
+    if (a.true_value[i].size() != b.true_value[i].size()) return false;
+    if (!a.true_value[i].empty() &&
+        std::memcmp(a.true_value[i].data(), b.true_value[i].data(),
+                    a.true_value[i].size() * sizeof(double)) != 0)
+      return false;
+  }
+  if (a.classes.flows.size() != b.classes.flows.size()) return false;
+  for (std::size_t i = 0; i < a.classes.flows.size(); ++i) {
+    if (a.classes.flows[i].flow != b.classes.flows[i].flow ||
+        a.classes.flows[i].pref_of_candidate !=
+            b.classes.flows[i].pref_of_candidate)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string to_string(StopReason r) {
   switch (r) {
@@ -32,10 +58,50 @@ NegotiationEngine::NegotiationEngine(const NegotiationProblem& problem,
     default_ci_.push_back(problem_.default_candidate(pos));
 }
 
+bool NegotiationEngine::cross_check_due() const {
+  if (config_.verify_incremental_every < 0) return false;  // explicitly off
+  if (config_.verify_incremental_every > 0)
+    return (incremental_refreshes_ %
+            static_cast<std::size_t>(config_.verify_incremental_every)) == 0;
+#ifndef NDEBUG
+  return true;  // debug builds audit every incremental refresh
+#else
+  return false;
+#endif
+}
+
 void NegotiationEngine::refresh_preferences() {
   const OracleContext ctx{&problem_, &tentative_, &remaining_};
-  truth_[0] = oracles_[0]->evaluate(ctx);
-  truth_[1] = oracles_[1]->evaluate(ctx);
+  const bool incremental = config_.incremental_evaluation && evaluated_once_;
+  for (int s = 0; s < 2; ++s) {
+    if (incremental) {
+      truth_[s] = oracles_[s]->evaluate_incremental(ctx, pending_delta_);
+      ++eval_calls_incremental_;
+    } else {
+      truth_[s] = oracles_[s]->evaluate(ctx);
+      ++eval_calls_full_;
+    }
+    eval_rows_computed_ += truth_[s].rows_recomputed;
+    eval_rows_full_equivalent_ += problem_.negotiable.size();
+  }
+  if (incremental) {
+    ++incremental_refreshes_;
+    if (cross_check_due()) {
+      // The audit: a full recompute must reproduce the incremental result
+      // bit for bit. Running evaluate() also rebuilds the oracle's internal
+      // state from the context, so later incremental calls continue from a
+      // verified baseline.
+      for (int s = 0; s < 2; ++s) {
+        const Evaluation full = oracles_[s]->evaluate(ctx);
+        if (!same_evaluation_bits(full, truth_[s]))
+          throw std::logic_error(
+              "incremental evaluation diverged from full recompute (side " +
+              std::to_string(s) + ")");
+      }
+    }
+  }
+  pending_delta_.clear();
+  evaluated_once_ = true;
   disclosed_[0] =
       oracles_[0]->disclose(ctx, truth_[0].classes, truth_[1].classes);
   disclosed_[1] =
@@ -194,8 +260,17 @@ NegotiationOutcome NegotiationEngine::run() {
       banned_[sel.pos][sel.ci] = 1;
     } else {
       const std::size_t ix = problem_.candidates[sel.ci];
-      for (std::size_t flow_index : problem_.members_of(sel.pos))
+      // Delta bookkeeping feeds evaluate_incremental(); skip it entirely
+      // when full recomputes were requested (keeps --incremental=0 honest).
+      const bool record_delta = config_.incremental_evaluation;
+      for (std::size_t flow_index : problem_.members_of(sel.pos)) {
+        const std::size_t from = tentative_.ix_of_flow[flow_index];
+        if (record_delta && from != ix)
+          pending_delta_.moves.push_back(
+              EvaluationDelta::Move{flow_index, from, ix});
         tentative_.ix_of_flow[flow_index] = ix;
+      }
+      if (record_delta) pending_delta_.settled_positions.push_back(sel.pos);
       if (ix != problem_.default_ix(sel.pos))
         accepted_moves_.push_back(AcceptedMove{sel.pos, sel.ci, {pa, pb}});
       true_gain_[0] += pa;
@@ -250,6 +325,10 @@ NegotiationOutcome NegotiationEngine::run() {
     }
   }
 
+  outcome.evaluate_calls_full = eval_calls_full_;
+  outcome.evaluate_calls_incremental = eval_calls_incremental_;
+  outcome.evaluate_rows_computed = eval_rows_computed_;
+  outcome.evaluate_rows_full_equivalent = eval_rows_full_equivalent_;
   outcome.assignment = tentative_;
   outcome.true_gain_a = true_gain_[0];
   outcome.true_gain_b = true_gain_[1];

@@ -79,6 +79,18 @@ struct NegotiationConfig {
   /// rollback may trigger the other's. Guarantees the no-loss property of
   /// Fig. 4b even when a counterparty stops mid-trade.
   bool settlement_rollback = true;
+  /// Use the oracles' evaluate_incremental() for every refresh after the
+  /// first, handing them the accepted moves since the previous evaluation.
+  /// Results are contractually bit-identical to full evaluate() — this knob
+  /// exists for A/B benchmarking and as an escape hatch, not because the
+  /// answers differ.
+  bool incremental_evaluation = true;
+  /// Cross-check cadence: every Nth incremental refresh, additionally run
+  /// the full evaluate() and throw std::logic_error unless both results are
+  /// bit-identical. 0 = automatic (every refresh in debug builds, never in
+  /// release); N >= 1 forces the check in all build types; -1 disables it
+  /// even in debug builds (for honest A/B timing, e.g. micro_incremental).
+  int verify_incremental_every = 0;
   std::uint64_t seed = 1;
   bool record_trace = false;
 };
@@ -120,6 +132,18 @@ struct NegotiationOutcome {
   std::size_t flows_moved = 0;       // accepted with a non-default choice
   std::size_t flows_rolled_back = 0; // settlement rollbacks (§6)
   std::size_t reassignments = 0;
+  /// Oracle-evaluation telemetry: how the preference work was actually done.
+  /// A full call recomputes one row per negotiable position; incremental
+  /// calls recompute only the rows the accepted moves' links feed, so
+  /// evaluate_rows_computed / (calls x positions) is the fraction of the
+  /// naive full-recompute work this negotiation performed.
+  std::size_t evaluate_calls_full = 0;
+  std::size_t evaluate_calls_incremental = 0;
+  std::size_t evaluate_rows_computed = 0;
+  /// What the same calls would have cost under full recomputation
+  /// (calls x negotiable positions) — the denominator for the fraction of
+  /// naive work performed.
+  std::size_t evaluate_rows_full_equivalent = 0;
   StopReason stop_reason = StopReason::kExhausted;
   std::vector<RoundTrace> trace;     // filled when config.record_trace
 };
@@ -144,6 +168,8 @@ class NegotiationEngine {
   };
 
   void refresh_preferences();
+  /// True when this refresh must also run the full-recompute cross-check.
+  [[nodiscard]] bool cross_check_due() const;
   [[nodiscard]] int pick_turn(std::size_t round) const;
   /// Indices into accepted_moves_ that `side` rolls back to get whole.
   [[nodiscard]] std::vector<std::size_t> compute_rollback(int side) const;
@@ -165,6 +191,15 @@ class NegotiationEngine {
   double true_gain_[2] = {0.0, 0.0};
   int disclosed_gain_[2] = {0, 0};
   std::vector<AcceptedMove> accepted_moves_;
+  /// Accepted moves + settles since the last oracle refresh; consumed by
+  /// evaluate_incremental() at the next reassignment quantum.
+  EvaluationDelta pending_delta_;
+  bool evaluated_once_ = false;
+  std::size_t incremental_refreshes_ = 0;
+  std::size_t eval_calls_full_ = 0;
+  std::size_t eval_calls_incremental_ = 0;
+  std::size_t eval_rows_computed_ = 0;
+  std::size_t eval_rows_full_equivalent_ = 0;
   mutable util::Rng rng_{1};
 };
 

@@ -1,5 +1,6 @@
 #include "core/oracles.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "metrics/metrics.hpp"
@@ -15,12 +16,145 @@ void check_ctx(const OracleContext& ctx) {
 
 /// Path of `f` inside ISP `side` when routed via interconnection `ix`
 /// (upstream or downstream path depending on the flow's direction).
-std::vector<graph::EdgeIndex> own_path(const routing::PairRouting& routing,
-                                       const traffic::Flow& f, std::size_t ix,
-                                       int side) {
+const std::vector<graph::EdgeIndex>& own_path(
+    const routing::PairRouting& routing, const traffic::Flow& f,
+    std::size_t ix, int side) {
   if (side == traffic::upstream_side(f.direction))
     return routing.upstream_path_edges(f, ix);
   return routing.downstream_path_edges(f, ix);
+}
+
+/// Reverse index: for every link of `side`'s backbone, the negotiable
+/// positions whose candidate paths cross it. A position's preference row
+/// depends on loads only through these links (the tentative interconnection
+/// is always within the candidate set), so a row can be reused verbatim
+/// whenever none of its footprint links changed.
+std::vector<std::vector<std::uint32_t>> build_footprints(
+    const NegotiationProblem& p, int side) {
+  const topology::IspPair& pair = p.routing->pair();
+  const std::size_t edges = side == 0 ? pair.a().backbone().edge_count()
+                                      : pair.b().backbone().edge_count();
+  std::vector<std::vector<std::uint32_t>> index(edges);
+  std::vector<std::uint32_t> last(edges,
+                                  std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    for (std::size_t m : p.members_of(pos)) {
+      const traffic::Flow& f = (*p.flows)[m];
+      for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+        for (graph::EdgeIndex e :
+             own_path(*p.routing, f, p.candidates[ci], side)) {
+          const auto idx = static_cast<std::size_t>(e);
+          if (last[idx] != pos) {
+            last[idx] = static_cast<std::uint32_t>(pos);
+            index[idx].push_back(static_cast<std::uint32_t>(pos));
+          }
+        }
+      }
+    }
+  }
+  return index;
+}
+
+/// Positions whose rows must be re-scored: anything a touched link feeds,
+/// plus the positions that settled since the last evaluation (their open
+/// status entered/left the row formula). Over-inclusion is always safe —
+/// recomputing an unaffected row reproduces the same bits.
+std::vector<char> affected_positions(
+    const detail::IncrementalOracleState& state,
+    const std::vector<graph::EdgeIndex>& touched,
+    const std::vector<std::size_t>& settled, std::size_t position_count) {
+  std::vector<char> affected(position_count, 0);
+  for (graph::EdgeIndex e : touched)
+    for (std::uint32_t pos : state.positions_of_link[static_cast<std::size_t>(e)])
+      affected[pos] = 1;
+  for (std::size_t pos : settled) affected.at(pos) = 1;
+  return affected;
+}
+
+/// (Re)builds a load-dependent oracle's incremental state for `ctx`: loads
+/// from scratch (every full evaluate is a reset point), the footprint index
+/// only when its inputs changed. Shared by BandwidthOracle and
+/// PiecewiseCostOracle so their invalidation rules cannot drift apart.
+void rebuild_incremental_state(detail::IncrementalOracleState& inc,
+                               const OracleContext& ctx, int side,
+                               const std::vector<char>* counted) {
+  const NegotiationProblem& p = *ctx.problem;
+  if (inc.loads == nullptr || inc.problem != &p || inc.routing != p.routing ||
+      inc.flows != p.flows)
+    inc.loads = std::make_unique<routing::IncrementalLoads>(*p.routing,
+                                                            *p.flows, side);
+  inc.loads->rebuild(*ctx.tentative, counted);
+  if (!inc.footprint_matches(p)) {
+    inc.positions_of_link = build_footprints(p, side);
+    inc.routing = p.routing;
+    inc.flows = p.flows;
+    inc.negotiable = p.negotiable;
+    inc.candidates = p.candidates;
+    inc.group_count = p.group_members.size();
+  }
+  inc.problem = &p;
+}
+
+/// True when `inc` holds state usable for an incremental continuation on
+/// `p` — the guard both load-dependent oracles' evaluate_incremental()
+/// applies before trusting cached loads/footprints/rows.
+bool state_matches(const detail::IncrementalOracleState& inc,
+                   const NegotiationProblem& p) {
+  return inc.problem == &p && inc.loads != nullptr &&
+         inc.deltas.size() == p.negotiable.size() && inc.footprint_matches(p);
+}
+
+/// Assembles an Evaluation from the state's (partially reused) delta matrix:
+/// quantisation scale and classes are always recomputed over the full
+/// matrix, which is what keeps incremental results bit-identical.
+Evaluation assemble_evaluation(const detail::IncrementalOracleState& inc,
+                               const NegotiationProblem& p,
+                               const PreferenceConfig& config,
+                               std::size_t rows_recomputed) {
+  const double scale = quantization_scale(inc.deltas, config);
+  Evaluation eval;
+  eval.rows_recomputed = rows_recomputed;
+  eval.classes.flows.reserve(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    eval.classes.flows.push_back(FlowPreferences{
+        p.negotiable_flow(pos).id,
+        quantize_deltas(inc.deltas[pos], config, scale)});
+  }
+  eval.true_value = inc.deltas;
+  return eval;
+}
+
+/// Shared skeleton of evaluate_incremental() for the load-dependent
+/// oracles: fold the accepted moves into the maintained loads, run the
+/// oracle-specific `settle` hook (kExcluded's count_flow), recompute the
+/// affected rows with `row`, and assemble. One body, so the two oracles'
+/// incremental semantics cannot drift apart.
+template <typename SettleFn, typename RowFn>
+Evaluation reevaluate_incremental(detail::IncrementalOracleState& inc,
+                                  const OracleContext& ctx, int side,
+                                  const PreferenceConfig& config,
+                                  const EvaluationDelta& delta,
+                                  SettleFn settle, RowFn row) {
+  const NegotiationProblem& p = *ctx.problem;
+  // Moves first: a settling flow's position is updated before the settle
+  // hook inserts it on its new path.
+  for (const EvaluationDelta::Move& mv : delta.moves)
+    inc.loads->move_flow(mv.flow, mv.to_ix);
+  settle();
+
+  const auto& my_loads =
+      inc.loads->loads().per_side[static_cast<std::size_t>(side)];
+  const auto touched = inc.loads->take_touched();
+  const std::vector<char> affected = affected_positions(
+      inc, touched[static_cast<std::size_t>(side)], delta.settled_positions,
+      p.negotiable.size());
+  std::size_t rows = 0;
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
+    if (!affected[pos]) continue;
+    inc.deltas[pos] = row(my_loads, pos);
+    ++rows;
+  }
+  return assemble_evaluation(inc, p, config, rows);
 }
 
 }  // namespace
@@ -53,12 +187,47 @@ Evaluation DistanceOracle::evaluate(const OracleContext& ctx) {
 
   const double scale = quantization_scale(deltas, config_);
   Evaluation eval;
+  eval.rows_recomputed = p.negotiable.size();
   eval.classes.flows.reserve(p.negotiable.size());
   for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
     eval.classes.flows.push_back(FlowPreferences{
         p.negotiable_flow(pos).id, quantize_deltas(deltas[pos], config_, scale)});
   }
   eval.true_value = std::move(deltas);
+  cached_ = eval;
+  cached_problem_ = &p;
+  cached_routing_ = p.routing;
+  cached_flows_ = p.flows;
+  cached_negotiable_ = p.negotiable;
+  cached_candidates_ = p.candidates;
+  cached_defaults_.clear();
+  cached_defaults_.reserve(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos)
+    cached_defaults_.push_back(p.default_ix(pos));
+  cached_group_count_ = p.group_members.size();
+  return eval;
+}
+
+bool DistanceOracle::cache_matches(const NegotiationProblem& p) const {
+  if (cached_problem_ != &p || cached_routing_ != p.routing ||
+      cached_flows_ != p.flows || cached_negotiable_ != p.negotiable ||
+      cached_candidates_ != p.candidates ||
+      cached_group_count_ != p.group_members.size())
+    return false;
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos)
+    if (cached_defaults_[pos] != p.default_ix(pos)) return false;
+  return true;
+}
+
+Evaluation DistanceOracle::evaluate_incremental(const OracleContext& ctx,
+                                                const EvaluationDelta& delta) {
+  (void)delta;
+  check_ctx(ctx);
+  // Distance deltas depend only on the (immutable) problem geometry, never
+  // on the tentative assignment, so a prior evaluation is simply reusable.
+  if (!cache_matches(*ctx.problem)) return evaluate(ctx);
+  Evaluation eval = cached_;
+  eval.rows_recomputed = 0;
   return eval;
 }
 
@@ -71,65 +240,90 @@ BandwidthOracle::BandwidthOracle(int side, PreferenceConfig config,
     throw std::invalid_argument("BandwidthOracle: side must be 0 or 1");
 }
 
-Evaluation BandwidthOracle::evaluate(const OracleContext& ctx) {
-  check_ctx(ctx);
+std::vector<char> BandwidthOracle::open_mask(const OracleContext& ctx) const {
   const NegotiationProblem& p = *ctx.problem;
-  const routing::PairRouting& routing = *p.routing;
-  const auto& caps = capacities_->per_side[static_cast<std::size_t>(side_)];
-
-  // Loads on my links. kAtTentative (expected state): every flow counts at
-  // its tentative position — the default until negotiated — so a
-  // post-failure pile-up is visible immediately. kExcluded (Fig. 3
-  // independence): open flows contribute nothing; only settled flows and the
-  // non-negotiable background count.
+  // Only the representative flow carries the open bit (historical contract;
+  // destination-based group members ride along as background).
   std::vector<char> open(p.flows->size(), 0);
   if (ctx.remaining != nullptr) {
     for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos)
       if ((*ctx.remaining)[pos]) open[p.negotiable[pos]] = 1;
   }
-  routing::LoadMap loads = routing::LoadMap::zeros(routing.pair());
-  for (std::size_t i = 0; i < p.flows->size(); ++i) {
-    if (!open[i] || open_model_ == OpenFlowModel::kAtTentative)
-      routing::add_flow_load(loads, routing, (*p.flows)[i],
-                             ctx.tentative->ix_of_flow[i], 1.0);
-  }
-  const auto& my_loads = loads.per_side[static_cast<std::size_t>(side_)];
+  return open;
+}
 
-  std::vector<std::vector<double>> deltas(p.negotiable.size());
-  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
-    deltas[pos].assign(p.candidates.size(), 0.0);
-    // All group members move together; judge each against a background that
-    // excludes the whole group (when counted), then sum the deltas.
-    std::vector<double> without = my_loads;
-    for (std::size_t m : p.members_of(pos)) {
-      if (!open[m] || open_model_ == OpenFlowModel::kAtTentative) {
-        const traffic::Flow& f = (*p.flows)[m];
-        for (graph::EdgeIndex e :
-             own_path(routing, f, ctx.tentative->ix_of_flow[m], side_))
-          without[static_cast<std::size_t>(e)] -= f.size;
-      }
-    }
-    for (std::size_t m : p.members_of(pos)) {
+/// One preference row: the member flows' MEL deltas versus the default,
+/// judged against a background that excludes the whole group (when
+/// counted). Shared verbatim by the full and incremental paths, which is
+/// what makes their results bit-identical by construction.
+std::vector<double> BandwidthOracle::compute_row(
+    const OracleContext& ctx, const std::vector<char>& open,
+    const std::vector<double>& my_loads, std::size_t pos) const {
+  const NegotiationProblem& p = *ctx.problem;
+  const routing::PairRouting& routing = *p.routing;
+  const auto& caps = capacities_->per_side[static_cast<std::size_t>(side_)];
+
+  std::vector<double> row(p.candidates.size(), 0.0);
+  std::vector<double> without = my_loads;
+  for (std::size_t m : p.members_of(pos)) {
+    if (!open[m] || open_model_ == OpenFlowModel::kAtTentative) {
       const traffic::Flow& f = (*p.flows)[m];
-      const double default_mel = metrics::path_mel(
-          own_path(routing, f, p.default_ix(pos), side_), without, caps, f.size);
-      for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
-        const double alt_mel = metrics::path_mel(
-            own_path(routing, f, p.candidates[ci], side_), without, caps, f.size);
-        deltas[pos][ci] += default_mel - alt_mel;
-      }
+      for (graph::EdgeIndex e :
+           own_path(routing, f, ctx.tentative->ix_of_flow[m], side_))
+        without[static_cast<std::size_t>(e)] -= f.size;
     }
   }
-
-  const double scale = quantization_scale(deltas, config_);
-  Evaluation eval;
-  eval.classes.flows.reserve(p.negotiable.size());
-  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
-    eval.classes.flows.push_back(FlowPreferences{
-        p.negotiable_flow(pos).id, quantize_deltas(deltas[pos], config_, scale)});
+  for (std::size_t m : p.members_of(pos)) {
+    const traffic::Flow& f = (*p.flows)[m];
+    const double default_mel = metrics::path_mel(
+        own_path(routing, f, p.default_ix(pos), side_), without, caps, f.size);
+    for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+      const double alt_mel = metrics::path_mel(
+          own_path(routing, f, p.candidates[ci], side_), without, caps, f.size);
+      row[ci] += default_mel - alt_mel;
+    }
   }
-  eval.true_value = std::move(deltas);
-  return eval;
+  return row;
+}
+
+Evaluation BandwidthOracle::evaluate(const OracleContext& ctx) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+  const std::vector<char> open = open_mask(ctx);
+  if (open_model_ == OpenFlowModel::kAtTentative) {
+    // Expected state: every flow counts at its tentative position.
+    rebuild_incremental_state(inc_, ctx, side_, nullptr);
+  } else {
+    // Fig. 3 independence: open flows contribute nothing.
+    std::vector<char> counted(open.size(), 0);
+    for (std::size_t i = 0; i < open.size(); ++i) counted[i] = !open[i];
+    rebuild_incremental_state(inc_, ctx, side_, &counted);
+  }
+  const auto& my_loads =
+      inc_.loads->loads().per_side[static_cast<std::size_t>(side_)];
+  inc_.deltas.resize(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos)
+    inc_.deltas[pos] = compute_row(ctx, open, my_loads, pos);
+  return assemble_evaluation(inc_, p, config_, p.negotiable.size());
+}
+
+Evaluation BandwidthOracle::evaluate_incremental(const OracleContext& ctx,
+                                                 const EvaluationDelta& delta) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+  if (!state_matches(inc_, p)) return evaluate(ctx);
+  const std::vector<char> open = open_mask(ctx);
+  return reevaluate_incremental(
+      inc_, ctx, side_, config_, delta,
+      [&] {
+        if (open_model_ == OpenFlowModel::kExcluded) {
+          for (std::size_t pos : delta.settled_positions)
+            for (std::size_t m : p.members_of(pos)) inc_.loads->count_flow(m);
+        }
+      },
+      [&](const std::vector<double>& my_loads, std::size_t pos) {
+        return compute_row(ctx, open, my_loads, pos);
+      });
 }
 
 PiecewiseCostOracle::PiecewiseCostOracle(int side, PreferenceConfig config,
@@ -139,25 +333,21 @@ PiecewiseCostOracle::PiecewiseCostOracle(int side, PreferenceConfig config,
     throw std::invalid_argument("PiecewiseCostOracle: side must be 0 or 1");
 }
 
-Evaluation PiecewiseCostOracle::evaluate(const OracleContext& ctx) {
-  check_ctx(ctx);
+/// One preference row of the piecewise-linear metric. Placing flow f on a
+/// path against a background without f only changes the touched links' phi
+/// values, so the cost difference is evaluated link-by-link — the same
+/// per-link bookkeeping the incremental path uses to decide which rows a
+/// load change can affect.
+std::vector<double> PiecewiseCostOracle::compute_row(
+    const OracleContext& ctx, const std::vector<double>& my_loads,
+    std::size_t pos) const {
   const NegotiationProblem& p = *ctx.problem;
   const routing::PairRouting& routing = *p.routing;
   const auto& caps = capacities_->per_side[static_cast<std::size_t>(side_)];
 
-  // Expected-state loads (every flow at its tentative position).
-  routing::LoadMap loads = routing::LoadMap::zeros(routing.pair());
-  for (std::size_t i = 0; i < p.flows->size(); ++i)
-    routing::add_flow_load(loads, routing, (*p.flows)[i],
-                           ctx.tentative->ix_of_flow[i], 1.0);
-  const auto& my_loads = loads.per_side[static_cast<std::size_t>(side_)];
-
-  // Cost of placing flow f on a path, against a background without f: only
-  // the touched links' phi values change, so evaluate the difference
-  // link-by-link.
-  auto placement_cost = [&](const std::vector<graph::EdgeIndex>& path,
-                            const std::vector<double>& without,
-                            double size) {
+  const auto placement_cost = [&](const std::vector<graph::EdgeIndex>& path,
+                                  const std::vector<double>& without,
+                                  double size) {
     double cost = 0.0;
     for (graph::EdgeIndex e : path) {
       const auto idx = static_cast<std::size_t>(e);
@@ -167,37 +357,50 @@ Evaluation PiecewiseCostOracle::evaluate(const OracleContext& ctx) {
     return cost;
   };
 
-  std::vector<std::vector<double>> deltas(p.negotiable.size());
-  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
-    deltas[pos].assign(p.candidates.size(), 0.0);
-    std::vector<double> without = my_loads;
-    for (std::size_t m : p.members_of(pos)) {
-      const traffic::Flow& f = (*p.flows)[m];
-      for (graph::EdgeIndex e :
-           own_path(routing, f, ctx.tentative->ix_of_flow[m], side_))
-        without[static_cast<std::size_t>(e)] -= f.size;
-    }
-    for (std::size_t m : p.members_of(pos)) {
-      const traffic::Flow& f = (*p.flows)[m];
-      const double default_cost = placement_cost(
-          own_path(routing, f, p.default_ix(pos), side_), without, f.size);
-      for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
-        const double alt_cost = placement_cost(
-            own_path(routing, f, p.candidates[ci], side_), without, f.size);
-        deltas[pos][ci] += default_cost - alt_cost;
-      }
+  std::vector<double> row(p.candidates.size(), 0.0);
+  std::vector<double> without = my_loads;
+  for (std::size_t m : p.members_of(pos)) {
+    const traffic::Flow& f = (*p.flows)[m];
+    for (graph::EdgeIndex e :
+         own_path(routing, f, ctx.tentative->ix_of_flow[m], side_))
+      without[static_cast<std::size_t>(e)] -= f.size;
+  }
+  for (std::size_t m : p.members_of(pos)) {
+    const traffic::Flow& f = (*p.flows)[m];
+    const double default_cost = placement_cost(
+        own_path(routing, f, p.default_ix(pos), side_), without, f.size);
+    for (std::size_t ci = 0; ci < p.candidates.size(); ++ci) {
+      const double alt_cost = placement_cost(
+          own_path(routing, f, p.candidates[ci], side_), without, f.size);
+      row[ci] += default_cost - alt_cost;
     }
   }
+  return row;
+}
 
-  const double scale = quantization_scale(deltas, config_);
-  Evaluation eval;
-  eval.classes.flows.reserve(p.negotiable.size());
-  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos) {
-    eval.classes.flows.push_back(FlowPreferences{
-        p.negotiable_flow(pos).id, quantize_deltas(deltas[pos], config_, scale)});
-  }
-  eval.true_value = std::move(deltas);
-  return eval;
+Evaluation PiecewiseCostOracle::evaluate(const OracleContext& ctx) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+  // Expected-state loads (every flow at its tentative position).
+  rebuild_incremental_state(inc_, ctx, side_, nullptr);
+  const auto& my_loads =
+      inc_.loads->loads().per_side[static_cast<std::size_t>(side_)];
+  inc_.deltas.resize(p.negotiable.size());
+  for (std::size_t pos = 0; pos < p.negotiable.size(); ++pos)
+    inc_.deltas[pos] = compute_row(ctx, my_loads, pos);
+  return assemble_evaluation(inc_, p, config_, p.negotiable.size());
+}
+
+Evaluation PiecewiseCostOracle::evaluate_incremental(
+    const OracleContext& ctx, const EvaluationDelta& delta) {
+  check_ctx(ctx);
+  const NegotiationProblem& p = *ctx.problem;
+  if (!state_matches(inc_, p)) return evaluate(ctx);
+  return reevaluate_incremental(
+      inc_, ctx, side_, config_, delta, [] {},
+      [&](const std::vector<double>& my_loads, std::size_t pos) {
+        return compute_row(ctx, my_loads, pos);
+      });
 }
 
 }  // namespace nexit::core

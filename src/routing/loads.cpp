@@ -23,13 +23,20 @@ LoadMap& LoadMap::operator+=(const LoadMap& other) {
 
 void add_flow_load(LoadMap& loads, const PairRouting& routing,
                    const traffic::Flow& f, std::size_t ix, double scale) {
-  const int up = traffic::upstream_side(f.direction);
-  const int down = traffic::downstream_side(f.direction);
+  // Validate the map's shape once; the cached path edges index their side's
+  // backbone by construction, so the accumulation loops stay unchecked.
+  const topology::IspPair& pair = routing.pair();
+  if (loads.per_side[0].size() != pair.a().backbone().edge_count() ||
+      loads.per_side[1].size() != pair.b().backbone().edge_count())
+    throw std::invalid_argument("add_flow_load: LoadMap shape mismatch");
+  std::vector<double>& up = loads.per_side[traffic::upstream_side(f.direction)];
+  std::vector<double>& down =
+      loads.per_side[traffic::downstream_side(f.direction)];
   const double amount = scale * f.size;
   for (graph::EdgeIndex e : routing.upstream_path_edges(f, ix))
-    loads.per_side[up].at(static_cast<std::size_t>(e)) += amount;
+    up[static_cast<std::size_t>(e)] += amount;
   for (graph::EdgeIndex e : routing.downstream_path_edges(f, ix))
-    loads.per_side[down].at(static_cast<std::size_t>(e)) += amount;
+    down[static_cast<std::size_t>(e)] += amount;
 }
 
 LoadMap compute_loads(const PairRouting& routing,

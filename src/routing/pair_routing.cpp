@@ -1,5 +1,6 @@
 #include "routing/pair_routing.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace nexit::routing {
@@ -8,6 +9,37 @@ PairRouting::PairRouting(const topology::IspPair& pair)
     : pair_(&pair),
       paths_a_(pair.a().backbone()),
       paths_b_(pair.b().backbone()) {}
+
+/// Precomputes every (PoP, interconnection) path of one side. Oracles walk
+/// these paths per flow per candidate on every evaluation, so handing out
+/// cached references instead of materializing vectors is what keeps the
+/// per-row cost of (incremental) re-evaluation flat. Backbones are
+/// connected by IspTopology's invariant, so every path exists.
+void PairRouting::build_path_cache(int side) const {
+  const std::size_t n_ix = pair_->interconnection_count();
+  const graph::Graph& g =
+      side == 0 ? pair_->a().backbone() : pair_->b().backbone();
+  auto& cache = path_cache_[static_cast<std::size_t>(side)];
+  cache.resize(g.node_count() * n_ix);
+  for (std::size_t pop = 0; pop < g.node_count(); ++pop) {
+    const graph::ShortestPathTree& t =
+        tree(side, topology::PopId{static_cast<std::int32_t>(pop)});
+    for (std::size_t ix = 0; ix < n_ix; ++ix)
+      cache[pop * n_ix + ix] = t.path_edges(
+          static_cast<graph::NodeIndex>(ix_pop(side, ix).value()));
+  }
+}
+
+const std::vector<graph::EdgeIndex>& PairRouting::cached_path(
+    int side, topology::PopId pop, std::size_t ix) const {
+  const std::size_t n_ix = pair_->interconnection_count();
+  if (ix >= n_ix)
+    throw std::out_of_range("PairRouting: interconnection index out of range");
+  std::call_once(path_cache_once_[static_cast<std::size_t>(side)],
+                 [&] { build_path_cache(side); });
+  return path_cache_[static_cast<std::size_t>(side)].at(
+      static_cast<std::size_t>(pop.value()) * n_ix + ix);
+}
 
 const graph::ShortestPathTree& PairRouting::tree(int side,
                                                  topology::PopId source) const {
@@ -57,20 +89,16 @@ double PairRouting::downstream_igp(const traffic::Flow& f, std::size_t ix) const
   return igp_to_ix(traffic::downstream_side(f.direction), f.dst, ix);
 }
 
-std::vector<graph::EdgeIndex> PairRouting::upstream_path_edges(
+const std::vector<graph::EdgeIndex>& PairRouting::upstream_path_edges(
     const traffic::Flow& f, std::size_t ix) const {
-  const int side = traffic::upstream_side(f.direction);
-  return tree(side, f.src)
-      .path_edges(static_cast<graph::NodeIndex>(ix_pop(side, ix).value()));
+  return cached_path(traffic::upstream_side(f.direction), f.src, ix);
 }
 
-std::vector<graph::EdgeIndex> PairRouting::downstream_path_edges(
+const std::vector<graph::EdgeIndex>& PairRouting::downstream_path_edges(
     const traffic::Flow& f, std::size_t ix) const {
-  const int side = traffic::downstream_side(f.direction);
   // Undirected graph: path ix->dst equals dst->ix reversed; edge set is what
   // load accounting needs.
-  return tree(side, f.dst)
-      .path_edges(static_cast<graph::NodeIndex>(ix_pop(side, ix).value()));
+  return cached_path(traffic::downstream_side(f.direction), f.dst, ix);
 }
 
 namespace {

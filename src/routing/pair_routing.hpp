@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -49,10 +51,14 @@ class PairRouting {
 
   /// Backbone edges the flow traverses inside its upstream ISP when routed
   /// via `ix` (edge indices of that ISP's graph). Empty when src is the
-  /// interconnection PoP.
-  [[nodiscard]] std::vector<graph::EdgeIndex> upstream_path_edges(
+  /// interconnection PoP. Returns a reference into a per-side cache built
+  /// on first use (thread-safely; the runtime shares a PairRouting across
+  /// concurrently pumped sessions) — one path per (PoP, interconnection),
+  /// never per call — valid for the lifetime of this PairRouting. Distance
+  /// workloads that never ask for path edges pay nothing.
+  [[nodiscard]] const std::vector<graph::EdgeIndex>& upstream_path_edges(
       const traffic::Flow& f, std::size_t ix) const;
-  [[nodiscard]] std::vector<graph::EdgeIndex> downstream_path_edges(
+  [[nodiscard]] const std::vector<graph::EdgeIndex>& downstream_path_edges(
       const traffic::Flow& f, std::size_t ix) const;
 
   // --- Exit policies (paper §2) -------------------------------------------
@@ -77,10 +83,18 @@ class PairRouting {
   [[nodiscard]] const graph::ShortestPathTree& tree(int side,
                                                     topology::PopId source) const;
   [[nodiscard]] topology::PopId ix_pop(int side, std::size_t ix) const;
+  [[nodiscard]] const std::vector<graph::EdgeIndex>& cached_path(
+      int side, topology::PopId pop, std::size_t ix) const;
+  void build_path_cache(int side) const;
 
   const topology::IspPair* pair_;
   graph::AllPairsShortestPaths paths_a_;
   graph::AllPairsShortestPaths paths_b_;
+  /// path_cache_[side][pop * ix_count + ix]: edges of the IGP shortest path
+  /// from `pop` to interconnection `ix`'s PoP inside `side`'s backbone.
+  /// Built lazily per side under path_cache_once_, immutable afterwards.
+  mutable std::array<std::once_flag, 2> path_cache_once_;
+  mutable std::array<std::vector<std::vector<graph::EdgeIndex>>, 2> path_cache_;
 };
 
 /// Integral assignment: interconnection index per flow, aligned with the

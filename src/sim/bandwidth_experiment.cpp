@@ -127,6 +127,10 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
       core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
       const core::NegotiationOutcome outcome = engine.run();
       s.flows_moved = outcome.flows_moved;
+      s.eval_calls_full = outcome.evaluate_calls_full;
+      s.eval_calls_incremental = outcome.evaluate_calls_incremental;
+      s.eval_rows_computed = outcome.evaluate_rows_computed;
+      s.eval_rows_full_equivalent = outcome.evaluate_rows_full_equivalent;
       const routing::LoadMap negotiated_loads =
           routing::compute_loads(routing, tm.flows(), outcome.assignment);
       s.mel_negotiated[0] = metrics::side_mel(negotiated_loads, caps, 0);

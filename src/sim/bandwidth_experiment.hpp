@@ -49,6 +49,16 @@ struct BandwidthSample {
   double affected_volume_fraction = 0.0;
   std::size_t flows_moved = 0;  // negotiated away from post-failure default
 
+  // Oracle-evaluation telemetry from the negotiation engine: full calls
+  // recompute every preference row, incremental calls only the affected
+  // ones. rows_full_equivalent is what the same number of calls would have
+  // cost under full recomputation — the denominator for "fraction of the
+  // naive work actually done".
+  std::size_t eval_calls_full = 0;
+  std::size_t eval_calls_incremental = 0;
+  std::size_t eval_rows_computed = 0;
+  std::size_t eval_rows_full_equivalent = 0;
+
   // Per-side MELs (0 = upstream ISP A, 1 = downstream ISP B) after failure.
   double mel_default[2] = {0.0, 0.0};
   double mel_negotiated[2] = {0.0, 0.0};

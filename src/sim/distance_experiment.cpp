@@ -26,7 +26,7 @@ routing::Assignment negotiate_in_groups(
     const std::vector<traffic::Flow>& flows,
     const std::vector<std::size_t>& candidates,
     const core::NegotiationProblem& whole, const DistanceExperimentConfig& cfg,
-    util::Rng& rng, std::size_t& flows_moved) {
+    util::Rng& rng, DistanceSample& sample) {
   core::PreferenceConfig pc = cfg.negotiation.preferences;
   routing::Assignment result = whole.default_assignment;
 
@@ -57,7 +57,11 @@ routing::Assignment negotiate_in_groups(
     ncfg.seed = rng.next_u64();
     core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
     const core::NegotiationOutcome outcome = engine.run();
-    flows_moved += outcome.flows_moved;
+    sample.flows_moved += outcome.flows_moved;
+    sample.eval_calls_full += outcome.evaluate_calls_full;
+    sample.eval_calls_incremental += outcome.evaluate_calls_incremental;
+    sample.eval_rows_computed += outcome.evaluate_rows_computed;
+    sample.eval_rows_full_equivalent += outcome.evaluate_rows_full_equivalent;
     for (std::size_t idx : problem.negotiable)
       result.ix_of_flow[idx] = outcome.assignment.ix_of_flow[idx];
   }
@@ -114,7 +118,7 @@ std::vector<DistanceSample> run_distance_experiment(
     util::Rng pair_rng = streams[pair_index][kNegotiationStream];
     const routing::Assignment negotiated =
         negotiate_in_groups(routing, tm.flows(), candidates, problem, config,
-                            pair_rng, s.flows_moved);
+                            pair_rng, s);
 
     s.default_km =
         metrics::total_flow_km(routing, tm.flows(), problem.default_assignment);

@@ -42,6 +42,13 @@ struct DistanceSample {
   std::size_t flow_count = 0;
   std::size_t flows_moved = 0;
 
+  // Oracle-evaluation telemetry summed over the negotiation runs (one per
+  // group); see BandwidthSample for field semantics.
+  std::size_t eval_calls_full = 0;
+  std::size_t eval_calls_incremental = 0;
+  std::size_t eval_rows_computed = 0;
+  std::size_t eval_rows_full_equivalent = 0;
+
   // Total km across both ISPs, all flows.
   double default_km = 0.0;
   double optimal_km = 0.0;

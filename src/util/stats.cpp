@@ -23,19 +23,36 @@ double stddev(const std::vector<double>& xs) {
   return std::sqrt(acc / static_cast<double>(xs.size()));
 }
 
-double median(std::vector<double> xs) { return percentile(std::move(xs), 50.0); }
+namespace {
 
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+/// Shared tail of both percentile overloads; `sorted` must be sorted.
+double percentile_of_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) throw std::invalid_argument("percentile: empty sample");
   if (p < 0.0 || p > 100.0)
     throw std::invalid_argument("percentile: p out of [0,100]");
-  std::sort(xs.begin(), xs.end());
-  if (xs.size() == 1) return xs[0];
-  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double median(const std::vector<double>& xs) { return percentile(xs, 50.0); }
+
+double percentile(const std::vector<double>& xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (xs.size() == 1) return percentile_of_sorted(xs, p);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_of_sorted(sorted, p);
+}
+
+double percentile(std::vector<double>&& xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return percentile_of_sorted(xs, p);
 }
 
 Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)), sorted_(false) {

@@ -13,11 +13,17 @@ double mean(const std::vector<double>& xs);
 double stddev(const std::vector<double>& xs);
 
 /// Median (average of the two middle elements for even sizes).
-double median(std::vector<double> xs);
+double median(const std::vector<double>& xs);
 
 /// p-th percentile, p in [0, 100], linear interpolation between order
-/// statistics. Requires a non-empty sample.
-double percentile(std::vector<double> xs, double p);
+/// statistics. Requires a non-empty sample. The input is left untouched;
+/// one internal copy is sorted (callers that need many percentiles of the
+/// same sample should build a Cdf instead, which sorts once).
+double percentile(const std::vector<double>& xs, double p);
+
+/// Zero-copy overload for callers done with their sample: sorts in place.
+/// Used on the oracle-evaluation hot path (quantization_scale).
+double percentile(std::vector<double>&& xs, double p);
 
 /// Empirical cumulative distribution over a sample, in the style the paper
 /// plots: for a value x, `fraction_leq(x)` is the fraction of samples <= x.
@@ -28,7 +34,7 @@ class Cdf {
   explicit Cdf(std::vector<double> samples);
 
   void add(double x);
-  [[nodiscard]] std::size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
   /// Fraction of samples <= x, in [0, 1].

@@ -154,6 +154,35 @@ TEST(Loads, MismatchedSizesThrow) {
   EXPECT_THROW(a += b, std::invalid_argument);
 }
 
+TEST(Loads, AddFlowLoadRejectsMismatchedShape) {
+  // The hot loop indexes unchecked after a single up-front shape check, so
+  // a wrong-shaped LoadMap must be rejected before any accumulation.
+  auto pair = figure1_pair();
+  PairRouting r(pair);
+  const auto f = make_flow(0, Direction::kAtoB, 0, 2);
+  LoadMap short_side = LoadMap::zeros(pair);
+  short_side.per_side[1].pop_back();
+  EXPECT_THROW(add_flow_load(short_side, r, f, 0, 1.0), std::invalid_argument);
+  LoadMap empty;
+  EXPECT_THROW(add_flow_load(empty, r, f, 0, 1.0), std::invalid_argument);
+  // A correctly shaped map still accumulates (behaviour pin).
+  LoadMap ok = LoadMap::zeros(pair);
+  add_flow_load(ok, r, f, 0, 1.0);
+  EXPECT_DOUBLE_EQ(ok.per_side[1][0], 1.0);
+}
+
+TEST(PairRouting, PathEdgesAreCachedReferences) {
+  auto pair = figure1_pair();
+  PairRouting r(pair);
+  const auto f = make_flow(0, Direction::kAtoB, 0, 2);
+  // Repeated queries return the same cached vector, not fresh copies.
+  const auto& first = r.upstream_path_edges(f, 2);
+  const auto& second = r.upstream_path_edges(f, 2);
+  EXPECT_EQ(&first, &second);
+  // Out-of-range interconnections still throw (pre-cache behaviour).
+  EXPECT_THROW((void)r.upstream_path_edges(f, 99), std::out_of_range);
+}
+
 TEST(Loads, PlusEqualsAccumulates) {
   auto pair = figure1_pair();
   LoadMap a = LoadMap::zeros(pair);

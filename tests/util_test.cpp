@@ -138,6 +138,36 @@ TEST(Stats, PercentileOutOfRangeThrows) {
   EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
 }
 
+TEST(Stats, PercentileLeavesInputUntouched) {
+  // percentile/median take the sample by const reference and sort an
+  // internal copy; the caller's ordering must survive.
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  const std::vector<double> original = xs;
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_EQ(xs, original);
+}
+
+TEST(Cdf, SizeStableAcrossAddAndSortCycles) {
+  // Regression for the dead ternary in size(): the count must track add()
+  // exactly, whether or not a query sorted the sample in between.
+  Cdf c;
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.empty());
+  for (int i = 0; i < 5; ++i) {
+    c.add(5.0 - i);
+    EXPECT_EQ(c.size(), static_cast<std::size_t>(i + 1));
+  }
+  (void)c.value_at(0.5);  // forces a sort
+  EXPECT_EQ(c.size(), 5u);
+  c.add(0.0);  // un-sorts again
+  EXPECT_EQ(c.size(), 6u);
+  (void)c.min();
+  (void)c.fraction_leq(2.0);
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_FALSE(c.empty());
+}
+
 TEST(Cdf, FractionLeq) {
   Cdf c({1, 2, 3, 4});
   EXPECT_DOUBLE_EQ(c.fraction_leq(0.5), 0.0);
