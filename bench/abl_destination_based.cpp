@@ -1,127 +1,12 @@
-// Ablation (paper footnote 2): "By using more flexible flow definitions,
-// Nexit can be extended to destination-based routing... Empirical evaluation
-// with destination-based routing yields results similar to those in §5."
-// Runs the distance experiment in both modes: source-destination flows
-// (the paper's default) and destination-based groups (one exit per
-// destination, moved together, MED-style), each measured against its own
-// default routing.
+// Ablation (footnote 2): destination-based vs source-destination negotiation.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_destination_based` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
-
-#include "core/oracles.hpp"
-#include "metrics/metrics.hpp"
-#include "traffic/traffic.hpp"
-#include "util/thread_pool.hpp"
-
-namespace {
-
-/// Everything one pair contributes to the aggregates, filled by a worker
-/// into its own index-addressed slot (same scheme as the experiment
-/// engines: bit-identical results for any --threads value).
-struct PairResult {
-  double sd_gain = 0.0;
-  double db_gain = 0.0;
-  double db_side_gain[2] = {0.0, 0.0};
-};
-
-}  // namespace
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::UniverseConfig ucfg = bench::universe_from_flags(flags);
-  ucfg.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  const core::NegotiationConfig ncfg_base = bench::negotiation_from_flags(flags);
-  const std::size_t threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-  sim::print_bench_header("Ablation: destination-based routing (footnote 2)",
-                          "source-destination vs destination-based negotiation",
-                          bench::universe_summary(ucfg));
-
-  const auto pairs = sim::build_pair_universe(ucfg, 2);
-
-  // Pre-fork per-pair streams (traffic, then one seed source for both
-  // modes) so the sweep shards across workers deterministically; see
-  // util::fork_streams.
-  util::Rng rng(ucfg.seed ^ 0xdddd);
-  std::vector<std::vector<util::Rng>> streams =
-      util::fork_streams(rng, pairs.size(), 2);
-
-  std::vector<PairResult> results(pairs.size());
-  const auto run_pair = [&](std::size_t pair_index) {
-    const auto& pair = pairs[pair_index];
-    routing::PairRouting routing(pair);
-    traffic::TrafficConfig tcfg;
-    tcfg.model = traffic::WorkloadModel::kIdentical;
-    util::Rng trng = streams[pair_index][0];  // traffic stream
-    auto tm = traffic::TrafficMatrix::build_bidirectional(pair, tcfg, trng);
-    std::vector<std::size_t> cands(pair.interconnection_count());
-    for (std::size_t i = 0; i < cands.size(); ++i) cands[i] = i;
-
-    PairResult& res = results[pair_index];
-    auto run_mode = [&](const core::NegotiationProblem& problem,
-                        double& total_out, double* side_out) {
-      core::DistanceOracle a(0, core::PreferenceConfig{});
-      core::DistanceOracle b(1, core::PreferenceConfig{});
-      core::NegotiationConfig ncfg = ncfg_base;
-      ncfg.seed = streams[pair_index][1].next_u64();  // engine-seed stream
-      core::NegotiationEngine engine(problem, a, b, ncfg);
-      auto out = engine.run();
-      const double def = metrics::total_flow_km(routing, tm.flows(),
-                                                problem.default_assignment);
-      const double neg =
-          metrics::total_flow_km(routing, tm.flows(), out.assignment);
-      total_out = def > 0 ? (def - neg) / def * 100.0 : 0.0;
-      if (side_out != nullptr) {
-        for (int side = 0; side < 2; ++side) {
-          const double dside = metrics::side_flow_km(
-              routing, tm.flows(), problem.default_assignment, side);
-          const double nside =
-              metrics::side_flow_km(routing, tm.flows(), out.assignment, side);
-          side_out[side] = dside > 0 ? (dside - nside) / dside * 100.0 : 0.0;
-        }
-      }
-    };
-
-    run_mode(core::make_distance_problem(routing, tm.flows(), cands),
-             res.sd_gain, nullptr);
-    run_mode(core::make_destination_problem(routing, tm.flows(), cands),
-             res.db_gain, res.db_side_gain);
-  };
-
-  util::ThreadPool pool(util::workers_for_threads(threads));
-  util::parallel_for(pool, pairs.size(), run_pair);
-
-  util::Cdf sd_gain, db_gain, db_indiv;
-  std::size_t db_losers = 0, db_isps = 0;
-  for (const PairResult& res : results) {
-    sd_gain.add(res.sd_gain);
-    db_gain.add(res.db_gain);
-    for (int side = 0; side < 2; ++side) {
-      db_indiv.add(res.db_side_gain[side]);
-      ++db_isps;
-      if (res.db_side_gain[side] < -0.5) ++db_losers;
-    }
-  }
-
-  sim::print_cdf_figure("footnote 2", "total gain vs the mode's own default",
-                        "% reduction in total flow km",
-                        {"source-dest", "destination-based"},
-                        {&sd_gain, &db_gain});
-
-  std::cout << "\n";
-  sim::paper_check(
-      "destination-based negotiation yields results similar to "
-      "source-destination (same order of magnitude, same sign)",
-      "median gain: source-dest " + std::to_string(sd_gain.value_at(0.5)) +
-          "% vs destination-based " + std::to_string(db_gain.value_at(0.5)) +
-          "%",
-      db_gain.value_at(0.5) > 0.0 &&
-          db_gain.value_at(0.5) > 0.25 * sd_gain.value_at(0.5));
-  sim::paper_check("no ISP loses under destination-based negotiation either",
-                   std::to_string(db_losers) + "/" + std::to_string(db_isps) +
-                       " ISPs lose >0.5%",
-                   db_losers == 0);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_destination_based", argc, argv);
 }

@@ -1,73 +1,12 @@
-// Ablation (§5.1/§5.2 claim): "only a fraction of flows — roughly 20% in our
-// experiment — need to be non-default routed to get most of the gain."
-// Measures, per pair, which fraction of flows the negotiation actually moved
-// and how much of the achievable gain the first X% of moved flows capture
-// (moves ranked by their combined km saving).
+// Ablation (§5.1/§5.2): which fraction of flows must move to capture the gain.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_flow_fraction` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
-
-#include <algorithm>
-
-#include "core/oracles.hpp"
-#include "metrics/metrics.hpp"
-#include "traffic/traffic.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 80));
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.run_flow_pair_baselines = false;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Ablation: fraction of flows moved",
-                          "how many non-default routes are needed for the gain",
-                          bench::universe_summary(cfg.universe));
-  const auto samples = sim::run_distance_experiment(cfg);
-
-  // Aggregate per-flow savings of negotiated moves across all pairs.
-  std::vector<double> savings;  // km saved by each moved flow
-  double total_gain_km = 0.0;
-  std::size_t total_flows = 0, moved_flows = 0;
-  for (const auto& s : samples) {
-    total_flows += s.flow_count;
-    moved_flows += s.flows_moved;
-    total_gain_km += s.default_km - s.negotiated_km;
-    for (double km : s.flow_saving_km_negotiated)
-      if (km > 1e-9) savings.push_back(km);
-  }
-  std::sort(savings.rbegin(), savings.rend());
-
-  const double frac_moved =
-      100.0 * static_cast<double>(moved_flows) / static_cast<double>(total_flows);
-  std::cout << "samples: " << samples.size() << " pairs, " << total_flows
-            << " flows; moved " << moved_flows << " (" << frac_moved << "%)\n";
-
-  double sum = 0.0;
-  for (double v : savings) sum += v;
-  std::cout << "\n  top-moved-flows%   share-of-total-gain%\n";
-  double share_at_20 = 0.0;
-  for (double pct : {1.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
-    const auto k = static_cast<std::size_t>(savings.size() * pct / 100.0);
-    double acc = 0.0;
-    for (std::size_t i = 0; i < k && i < savings.size(); ++i) acc += savings[i];
-    const double share = sum > 0 ? 100.0 * acc / sum : 0.0;
-    std::printf("  %15.1f   %20.2f\n", pct, share);
-    if (pct == 20.0) share_at_20 = share;
-  }
-
-  std::cout << "\n";
-  sim::paper_check(
-      "a minority of flows moved off default suffices (paper ~20%)",
-      std::to_string(frac_moved) + "% of all flows were re-routed",
-      frac_moved < 50.0);
-  sim::paper_check(
-      "the top 20% of improved flows carries most of the gain",
-      std::to_string(share_at_20) + "% of the gain from the top 20% of flows",
-      share_at_20 > 50.0);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_flow_fraction", argc, argv);
 }

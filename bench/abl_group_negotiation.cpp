@@ -1,50 +1,12 @@
-// Ablation (§5.1 claim): "We also experimented with breaking down the set of
-// flows into several groups and negotiating within each group separately. We
-// find that this does not provide as much benefit as negotiating over the
-// entire set." Sweeps the number of groups.
+// Ablation (§5.1): negotiating in k separate groups vs the whole set.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_group_negotiation` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig base;
-  base.universe = bench::universe_from_flags(flags);
-  base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  base.negotiation = bench::negotiation_from_flags(flags);
-  base.run_flow_pair_baselines = false;
-  base.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Ablation: group negotiation",
-                          "negotiating in k separate groups vs the whole set",
-                          bench::universe_summary(base.universe));
-
-  const std::size_t group_counts[] = {1, 2, 4, 8, 16, 64};
-  double gain_at_1 = 0.0, gain_at_64 = 0.0;
-  std::cout << "\n  groups   mean-total-gain%   median-total-gain%\n";
-  for (std::size_t k : group_counts) {
-    sim::DistanceExperimentConfig cfg = base;
-    cfg.groups = k;
-    const auto samples = sim::run_distance_experiment(cfg);
-    util::Cdf neg;
-    double mean = 0.0;
-    for (const auto& s : samples) {
-      neg.add(s.total_gain_pct(s.negotiated_km));
-      mean += s.total_gain_pct(s.negotiated_km);
-    }
-    mean /= static_cast<double>(samples.size());
-    std::printf("  %6zu   %16.3f   %18.3f\n", k, mean, neg.value_at(0.5));
-    if (k == 1) gain_at_1 = mean;
-    if (k == 64) gain_at_64 = mean;
-  }
-
-  std::cout << "\n";
-  sim::paper_check(
-      "negotiating over the entire flow set beats many separate groups",
-      "mean gain whole-set " + std::to_string(gain_at_1) + "% vs 64 groups " +
-          std::to_string(gain_at_64) + "%",
-      gain_at_64 <= gain_at_1 + 1e-9);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_group_negotiation", argc, argv);
 }

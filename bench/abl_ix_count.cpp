@@ -1,49 +1,12 @@
-// Ablation (§5.1 claim): "we find that, in general, ISPs with more
-// interconnections gain more through negotiation" (analysis omitted in the
-// paper for space). Buckets the Fig. 4 samples by interconnection count.
+// Ablation (§5.1): negotiated gain bucketed by interconnection count.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_ix_count` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
-
-#include <map>
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 150));
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.run_flow_pair_baselines = false;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Ablation: interconnection count",
-                          "negotiated gain bucketed by number of interconnections",
-                          bench::universe_summary(cfg.universe));
-  const auto samples = sim::run_distance_experiment(cfg);
-
-  std::map<std::size_t, std::vector<double>> buckets;  // capped bucket -> gains
-  for (const auto& s : samples) {
-    const std::size_t bucket = std::min<std::size_t>(s.interconnections, 6);
-    buckets[bucket].push_back(s.total_gain_pct(s.negotiated_km));
-  }
-
-  std::cout << "\n  interconnections   pairs   mean-gain%   median-gain%\n";
-  double low_bucket = -1.0, high_bucket = -1.0;
-  for (const auto& [b, gains] : buckets) {
-    const double mean = util::mean(gains);
-    std::printf("  %10zu%s   %5zu   %10.3f   %12.3f\n", b, b == 6 ? "+" : " ",
-                gains.size(), mean, util::median(gains));
-    if (low_bucket < 0) low_bucket = mean;
-    high_bucket = mean;
-  }
-
-  std::cout << "\n";
-  sim::paper_check(
-      "pairs with more interconnections gain more from negotiation",
-      "mean gain, fewest-ix bucket " + std::to_string(low_bucket) +
-          "% vs most-ix bucket " + std::to_string(high_bucket) + "%",
-      high_bucket >= low_bucket);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_ix_count", argc, argv);
 }

@@ -1,98 +1,12 @@
-// Ablation (§5.2 "alternate models"): the paper reports its bandwidth
-// results are "qualitatively similar" under alternate workload models
-// (identical and uniform-random PoP weights instead of population gravity),
-// alternate capacity rules (power-of-two rounding, mean/max for unused
-// links), and an alternate ISP metric (piecewise-linear link cost). This
-// bench reruns the Fig. 7 experiment under each variant and reports the
-// headline statistics side by side.
+// Ablation (§5.2): workload / capacity / metric sensitivity of Fig. 7.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_models` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::BandwidthExperimentConfig base;
-  base.universe = bench::universe_from_flags(flags);
-  base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 30));
-  base.negotiation = bench::negotiation_from_flags(flags);
-  base.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
-  base.include_unilateral = false;
-  base.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Ablation: alternate models (§5.2)",
-                          "workload / capacity / metric sensitivity of Fig. 7",
-                          bench::universe_summary(base.universe));
-
-  struct Variant {
-    const char* name;
-    sim::BandwidthExperimentConfig cfg;
-  };
-  std::vector<Variant> variants;
-  variants.push_back({"gravity + median-capacity (paper)", base});
-  {
-    auto c = base;
-    c.traffic.model = traffic::WorkloadModel::kIdentical;
-    variants.push_back({"identical PoP weights", c});
-  }
-  {
-    auto c = base;
-    c.traffic.model = traffic::WorkloadModel::kUniformRandom;
-    variants.push_back({"uniform-random PoP weights", c});
-  }
-  {
-    auto c = base;
-    c.capacity.round_up_power_of_two = true;
-    variants.push_back({"power-of-two capacities", c});
-  }
-  {
-    auto c = base;
-    c.capacity.unused_rule = capacity::UnusedLinkRule::kMax;
-    variants.push_back({"unused links get max load", c});
-  }
-  {
-    auto c = base;
-    c.use_piecewise_cost = true;
-    variants.push_back({"piecewise-linear cost metric", c});
-  }
-
-  std::cout << "\n  variant                              samples   "
-               "default-med   negotiated-med   neg<=def%\n";
-  double paper_def = 0.0, paper_neg = 0.0;
-  bool all_shapes_hold = true;
-  for (const auto& v : variants) {
-    const auto samples = sim::run_bandwidth_experiment(v.cfg);
-    util::Cdf def_up, neg_up;
-    std::size_t dominated = 0;
-    for (const auto& s : samples) {
-      def_up.add(s.ratio(s.mel_default, 0));
-      neg_up.add(s.ratio(s.mel_negotiated, 0));
-      if (s.ratio(s.mel_negotiated, 0) <= s.ratio(s.mel_default, 0) + 1e-9)
-        ++dominated;
-    }
-    const double dm = def_up.value_at(0.5);
-    const double nm = neg_up.value_at(0.5);
-    const double dom_pct =
-        samples.empty() ? 0.0
-                        : 100.0 * static_cast<double>(dominated) /
-                              static_cast<double>(samples.size());
-    std::printf("  %-36s   %6zu   %11.3f   %14.3f   %8.1f\n", v.name,
-                samples.size(), dm, nm, dom_pct);
-    if (std::string(v.name).find("paper") != std::string::npos) {
-      paper_def = dm;
-      paper_neg = nm;
-    }
-    // Qualitative shape: negotiated at or below default at the median.
-    all_shapes_hold &= nm <= dm + 1e-9;
-  }
-
-  std::cout << "\n";
-  sim::paper_check(
-      "results are qualitatively similar across alternate models "
-      "(negotiated <= default at the median everywhere)",
-      "paper-model medians: default " + std::to_string(paper_def) +
-          ", negotiated " + std::to_string(paper_neg),
-      all_shapes_hold);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_models", argc, argv);
 }

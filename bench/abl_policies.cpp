@@ -1,84 +1,12 @@
-// Ablation (§4 modes): turn/termination/proposal policy comparison. The
-// paper describes alternate vs lower-cumulative-gain turns (the latter
-// approximating max-min fairness), early vs full termination, and the
-// best-local-min-impact proposal rule. This bench quantifies them on the
-// distance workload: total gain and the |gainA - gainB| imbalance.
+// Ablation (§4): turn / termination / proposal policy comparison.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_policies` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
-
-#include <cmath>
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig base;
-  base.universe = bench::universe_from_flags(flags);
-  base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  base.negotiation = bench::negotiation_from_flags(flags);
-  base.run_flow_pair_baselines = false;
-  base.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Ablation: protocol policies",
-                          "turn / termination / proposal policy comparison",
-                          bench::universe_summary(base.universe));
-
-  struct Variant {
-    const char* name;
-    core::TurnPolicy turn;
-    core::TerminationPolicy termination;
-    core::ProposalPolicy proposal;
-  };
-  const Variant variants[] = {
-      {"alternate+early+max-combined (paper)", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
-      {"lower-gain turns (max-min-fair)", core::TurnPolicy::kLowerGain,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
-      {"coin-toss turns", core::TurnPolicy::kCoinToss,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
-      {"full termination", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kFull, core::ProposalPolicy::kMaxCombinedGain},
-      {"negotiate-all (social)", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kNegotiateAll,
-       core::ProposalPolicy::kMaxCombinedGain},
-      {"best-local-min-impact proposals", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kBestLocalMinImpact},
-  };
-
-  double fair_imbalance = -1.0, alt_imbalance = -1.0;
-  std::cout << "\n  variant                                   mean-gain%   "
-               "median-gain%   mean|gainA-gainB| (km)\n";
-  for (const auto& v : variants) {
-    sim::DistanceExperimentConfig cfg = base;
-    cfg.negotiation.turn = v.turn;
-    cfg.negotiation.termination = v.termination;
-    cfg.negotiation.proposal = v.proposal;
-    const auto samples = sim::run_distance_experiment(cfg);
-    util::Cdf gain;
-    double mean = 0.0, imbalance = 0.0;
-    for (const auto& s : samples) {
-      gain.add(s.total_gain_pct(s.negotiated_km));
-      mean += s.total_gain_pct(s.negotiated_km);
-      const double ga = s.default_side_km[0] - s.negotiated_side_km[0];
-      const double gb = s.default_side_km[1] - s.negotiated_side_km[1];
-      imbalance += std::abs(ga - gb);
-    }
-    mean /= static_cast<double>(samples.size());
-    imbalance /= static_cast<double>(samples.size());
-    std::printf("  %-40s   %9.3f   %11.3f   %18.1f\n", v.name, mean,
-                gain.value_at(0.5), imbalance);
-    if (v.turn == core::TurnPolicy::kLowerGain) fair_imbalance = imbalance;
-    if (std::string(v.name).find("paper") != std::string::npos)
-      alt_imbalance = imbalance;
-  }
-
-  std::cout << "\n";
-  sim::paper_check(
-      "lower-cumulative-gain turns approximate max-min fairness "
-      "(smaller gain imbalance than alternate turns)",
-      "mean |gainA-gainB|: lower-gain " + std::to_string(fair_imbalance) +
-          " km vs alternate " + std::to_string(alt_imbalance) + " km",
-      fair_imbalance <= alt_imbalance * 1.25);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_policies", argc, argv);
 }

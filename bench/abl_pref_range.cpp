@@ -1,56 +1,12 @@
-// Ablation (§5 setup claim): "Preference class range is [-10,10]; we found
-// that increasing the range does not lead to noticeable increase in
-// performance." Sweeps P over the distance experiment and reports the median
-// negotiated total gain per P.
+// Ablation (§5 setup): negotiated gain as a function of the class range P.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=abl_pref_range` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig base;
-  base.universe = bench::universe_from_flags(flags);
-  base.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  base.run_flow_pair_baselines = false;
-  base.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Ablation: preference range P",
-                          "negotiated gain as a function of the class range",
-                          bench::universe_summary(base.universe));
-
-  const int ranges[] = {1, 2, 3, 5, 10, 20, 50};
-  double median_at_10 = 0.0, median_at_1 = 0.0, median_at_50 = 0.0;
-  std::cout << "\n   P   median-total-gain%   mean-total-gain%   optimal-median%\n";
-  for (int p : ranges) {
-    sim::DistanceExperimentConfig cfg = base;
-    cfg.negotiation.preferences.range = p;
-    const auto samples = sim::run_distance_experiment(cfg);
-    util::Cdf neg, opt;
-    double mean = 0.0;
-    for (const auto& s : samples) {
-      neg.add(s.total_gain_pct(s.negotiated_km));
-      opt.add(s.total_gain_pct(s.optimal_km));
-      mean += s.total_gain_pct(s.negotiated_km);
-    }
-    mean /= static_cast<double>(samples.size());
-    std::printf("  %2d   %18.3f   %16.3f   %15.3f\n", p, neg.value_at(0.5), mean,
-                opt.value_at(0.5));
-    if (p == 10) median_at_10 = neg.value_at(0.5);
-    if (p == 1) median_at_1 = neg.value_at(0.5);
-    if (p == 50) median_at_50 = neg.value_at(0.5);
-  }
-
-  std::cout << "\n";
-  sim::paper_check(
-      "increasing the range beyond P=10 does not noticeably help",
-      "median gain at P=10: " + std::to_string(median_at_10) + "%, at P=50: " +
-          std::to_string(median_at_50) + "%",
-      median_at_50 - median_at_10 < 1.0);
-  sim::paper_check("a tiny range (P=1) leaves gain on the table",
-                   "median gain at P=1: " + std::to_string(median_at_1) +
-                       "% vs P=10: " + std::to_string(median_at_10) + "%",
-                   median_at_1 <= median_at_10 + 1e-9);
-  return 0;
+  return nexit::sim::scenario_shim_main("abl_pref_range", argc, argv);
 }

@@ -1,40 +1,26 @@
 #pragma once
 
-// Shared scaffolding for the figure-reproduction benches: flag parsing into
-// experiment configs and common printing. Every universe-sweep binary
-// accepts:
-//   --isps=N --pairs=N --seed=S --pop-min=N --pop-max=N  (universe)
-//   --pref-range=P                                        (Nexit config)
-//   --threads=N      (experiment worker threads; 0 = auto, default 1;
-//                     results are bit-identical for every value)
-// plus figure-specific flags documented in each binary. Two exceptions:
-// table3_example is a fixed worked example and only takes --seed, and
-// abl_pref_range sweeps the preference range itself so it does not take
-// --pref-range.
+// Shared scaffolding for the non-scenario benches (runtime_throughput,
+// micro_incremental): flag parsing into universe/negotiation configs and
+// the universe summary line. The figure/ablation binaries no longer use
+// this — they are shims over sim/scenarios.hpp, and the JSON emitter plus
+// the FNV digest helpers that used to live here are promoted to
+// src/util/json_report.hpp and src/util/digest.hpp so the driver, the
+// benches, and the tests share one emitter/digest scheme.
 //
 // Unknown flags are a hard error: after reading all its flags, each binary
 // calls reject_unknown_flags(), so a misspelled flag (--seeed=7) aborts with
 // a message instead of silently running the default configuration. The same
-// call makes `--help` print the flags the binary reads and exit 0, and
-// JSON-enabled benches accept `--json=<path>` (see JsonReport below) to
-// record config + metrics machine-readably.
+// call makes `--help` print the flags the binary reads and exit 0.
 
-#include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <iostream>
-#include <sstream>
 #include <string>
-#include <utility>
-#include <vector>
 
-#include "sim/bandwidth_experiment.hpp"
-#include "sim/distance_experiment.hpp"
+#include "core/engine.hpp"
+#include "sim/pair_universe.hpp"
 #include "sim/report.hpp"
+#include "util/digest.hpp"
 #include "util/flags.hpp"
-#include "util/stats.hpp"
+#include "util/json_report.hpp"
 
 namespace nexit::bench {
 
@@ -77,131 +63,13 @@ inline std::size_t threads_from_flags(const util::Flags& flags) {
   return util::get_count(flags, "threads", 1, 1024);
 }
 
+/// Bench-facing name for sim::universe_summary (one shared spelling).
 inline std::string universe_summary(const sim::UniverseConfig& u) {
-  std::ostringstream os;
-  os << u.isp_count << " synthetic ISPs, seed " << u.seed << ", <= "
-     << u.max_pairs << " pairs, PoPs " << u.generator.min_pops << "-"
-     << u.generator.max_pops;
-  return os.str();
-}
-
-/// Machine-readable run record for perf trajectories: a bench that is handed
-/// `--json=<path>` writes `{binary, config: {...}, metrics: {...}}` there,
-/// so successive runs (BENCH_*.json) can be diffed and plotted across PRs.
-///
-/// Construct it right after parsing (the constructor reads --json, keeping
-/// reject_unknown_flags() happy), record config/metrics as they are
-/// computed, and call write() last. Everything is a no-op without --json.
-class JsonReport {
- public:
-  JsonReport(const util::Flags& flags, std::string binary_name)
-      : path_(flags.get_string("json", "")), binary_(std::move(binary_name)) {}
-
-  void config(const std::string& key, const std::string& value) {
-    config_.emplace_back(key, quote(value));
-  }
-  void config(const std::string& key, std::int64_t value) {
-    config_.emplace_back(key, std::to_string(value));
-  }
-  void config(const std::string& key, double value) {
-    config_.emplace_back(key, number(value));
-  }
-
-  void metric(const std::string& name, double value) {
-    metrics_.emplace_back(name, number(value));
-  }
-  void metric(const std::string& name, std::int64_t value) {
-    metrics_.emplace_back(name, std::to_string(value));
-  }
-  /// Five-point summary of a CDF under "<name>.{n,min,p25,p50,p75,max}".
-  void metric_cdf(const std::string& name, const util::Cdf& cdf) {
-    if (cdf.empty()) return;
-    metric(name + ".n", static_cast<std::int64_t>(cdf.size()));
-    metric(name + ".min", cdf.min());
-    metric(name + ".p25", cdf.value_at(0.25));
-    metric(name + ".p50", cdf.value_at(0.5));
-    metric(name + ".p75", cdf.value_at(0.75));
-    metric(name + ".max", cdf.max());
-  }
-
-  /// Writes the file if --json=<path> was given; exits 2 on I/O failure (a
-  /// requested-but-unwritable record should not fail silently).
-  void write() const {
-    if (path_.empty()) return;
-    std::ofstream out(path_);
-    out << "{\n  \"binary\": " << quote(binary_) << ",\n  \"config\": {";
-    emit(out, config_);
-    out << "},\n  \"metrics\": {";
-    emit(out, metrics_);
-    out << "}\n}\n";
-    out.flush();
-    if (!out) {
-      std::cerr << "error: --json: cannot write " << path_ << "\n";
-      std::exit(2);
-    }
-    std::cout << "json record written to " << path_ << "\n";
-  }
-
- private:
-  using Entries = std::vector<std::pair<std::string, std::string>>;
-
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') {
-        out += '\\';
-        out += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char buf[8];
-        std::snprintf(buf, sizeof buf, "\\u%04x", c);
-        out += buf;
-      } else {
-        out += c;
-      }
-    }
-    return out + "\"";
-  }
-
-  static std::string number(double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return buf;
-  }
-
-  static void emit(std::ofstream& out, const Entries& entries) {
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      out << (i == 0 ? "\n" : ",\n") << "    " << quote(entries[i].first)
-          << ": " << entries[i].second;
-    }
-    if (!entries.empty()) out << "\n  ";
-  }
-
-  std::string path_;
-  std::string binary_;
-  Entries config_;
-  Entries metrics_;
-};
-
-/// FNV-1a scaffolding for the determinism digests several benches print
-/// (runtime_throughput, fig7_bandwidth_mel, micro_incremental): one place
-/// for the constants so the digest scheme cannot drift between binaries.
-inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
-
-inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v;
-  h *= 1099511628211ull;
-  return h;
-}
-
-/// Bit pattern of a double, for hashing exact values (not rounded text).
-inline std::uint64_t double_bits(double d) {
-  std::uint64_t u = 0;
-  std::memcpy(&u, &d, sizeof u);
-  return u;
+  return sim::universe_summary(u);
 }
 
 /// Records the universe knobs every sweep bench shares.
-inline void record_universe(JsonReport& json, const sim::UniverseConfig& u,
+inline void record_universe(util::JsonReport& json, const sim::UniverseConfig& u,
                             std::size_t threads) {
   json.config("isps", static_cast<std::int64_t>(u.isp_count));
   json.config("seed", static_cast<std::int64_t>(u.seed));

@@ -1,74 +1,12 @@
-// Figure 10: the impact of cheating on the distance experiment (§5.4). One
-// ISP (A) inflates its disclosed preferences using perfect knowledge of the
-// other's list. (a) CDF of total gain with/without the cheater; (b) CDF of
-// individual gains: cheater vs truthful vs honest baseline.
-// Paper claims: cheating reduces the TRUTHFUL ISP's gain but also the
-// CHEATER's own gain (premature termination), so lying is unattractive; the
-// truthful ISP still never ends below its default.
+// Figure 10: the impact of cheating on the distance experiment (§5.4).
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig10` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig honest;
-  honest.universe = bench::universe_from_flags(flags);
-  honest.negotiation = bench::negotiation_from_flags(flags);
-  honest.run_flow_pair_baselines = false;
-  honest.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-  sim::DistanceExperimentConfig cheating = honest;
-  cheating.cheater_side = 0;
-
-  sim::print_bench_header("Figure 10", "impact of cheating, distance experiment",
-                          bench::universe_summary(honest.universe));
-  const auto hs = sim::run_distance_experiment(honest);
-  const auto cs = sim::run_distance_experiment(cheating);
-  std::cout << "samples: " << hs.size() << " ISP pairs (x2 runs)\n";
-
-  util::Cdf total_honest, total_cheat, indiv_honest, cheater_gain, truthful_gain;
-  double mean_cheater = 0, mean_cheater_honest = 0;
-  std::size_t truthful_losses = 0;
-  for (std::size_t i = 0; i < hs.size(); ++i) {
-    total_honest.add(hs[i].total_gain_pct(hs[i].negotiated_km));
-    total_cheat.add(cs[i].total_gain_pct(cs[i].negotiated_km));
-    for (int side = 0; side < 2; ++side)
-      indiv_honest.add(hs[i].side_gain_pct(hs[i].negotiated_side_km, side));
-    cheater_gain.add(cs[i].side_gain_pct(cs[i].negotiated_side_km, 0));
-    truthful_gain.add(cs[i].side_gain_pct(cs[i].negotiated_side_km, 1));
-    mean_cheater += cs[i].side_gain_pct(cs[i].negotiated_side_km, 0);
-    mean_cheater_honest += hs[i].side_gain_pct(hs[i].negotiated_side_km, 0);
-    if (cs[i].side_gain_pct(cs[i].negotiated_side_km, 1) < -0.5)
-      ++truthful_losses;
-  }
-  mean_cheater /= static_cast<double>(cs.size());
-  mean_cheater_honest /= static_cast<double>(hs.size());
-
-  sim::print_cdf_figure("Fig 10a", "total gain across both ISPs",
-                        "% reduction in total flow km vs default",
-                        {"both-truthful", "one-cheater"},
-                        {&total_honest, &total_cheat});
-  sim::print_cdf_figure("Fig 10b", "individual gains",
-                        "% reduction in own-network km vs default",
-                        {"both-truthful", "cheater", "truthful"},
-                        {&indiv_honest, &cheater_gain, &truthful_gain});
-
-  std::cout << "\n";
-  sim::paper_check("cheating reduces the total gain",
-                   "median total: honest " +
-                       std::to_string(total_honest.value_at(0.5)) +
-                       "% vs one-cheater " +
-                       std::to_string(total_cheat.value_at(0.5)) + "%",
-                   total_cheat.value_at(0.5) <= total_honest.value_at(0.5) + 1e-9);
-  sim::paper_check(
-      "cheating is self-defeating: the cheater gains LESS than when truthful",
-      "cheater mean gain " + std::to_string(mean_cheater) +
-          "% vs its gain when honest " + std::to_string(mean_cheater_honest) +
-          "%",
-      mean_cheater <= mean_cheater_honest + 1e-9);
-  sim::paper_check("the truthful ISP never ends below its default",
-                   std::to_string(truthful_losses) + " losses >0.5%",
-                   truthful_losses == 0);
-  return 0;
+  return nexit::sim::scenario_shim_main("fig10", argc, argv);
 }

@@ -1,62 +1,12 @@
-// Figure 11: the impact of cheating on the bandwidth (failure) experiment
-// (§5.4), with the UPSTREAM ISP as the cheater. CDFs of MEL relative to
-// optimal for both ISPs, comparing both-truthful, one-cheater, and default.
-// Paper claim: cheating hurts not only the truthful downstream but the
-// cheating upstream itself.
+// Figure 11: the impact of cheating on the bandwidth experiment (§5.4).
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig11` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::BandwidthExperimentConfig honest;
-  honest.universe = bench::universe_from_flags(flags);
-  honest.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  honest.negotiation = bench::negotiation_from_flags(flags);
-  honest.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
-  honest.include_unilateral = false;
-  honest.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-  sim::BandwidthExperimentConfig cheating = honest;
-  cheating.upstream_cheats = true;
-
-  sim::print_bench_header("Figure 11", "impact of cheating, bandwidth experiment",
-                          bench::universe_summary(honest.universe));
-  const auto hs = sim::run_bandwidth_experiment(honest);
-  const auto cs = sim::run_bandwidth_experiment(cheating);
-  std::cout << "samples: " << hs.size() << " failed interconnections (x2 runs)\n";
-
-  util::Cdf up_honest, up_cheat, up_default, down_honest, down_cheat, down_default;
-  const std::size_t n = std::min(hs.size(), cs.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    up_honest.add(hs[i].ratio(hs[i].mel_negotiated, 0));
-    up_cheat.add(cs[i].ratio(cs[i].mel_negotiated, 0));
-    up_default.add(hs[i].ratio(hs[i].mel_default, 0));
-    down_honest.add(hs[i].ratio(hs[i].mel_negotiated, 1));
-    down_cheat.add(cs[i].ratio(cs[i].mel_negotiated, 1));
-    down_default.add(hs[i].ratio(hs[i].mel_default, 1));
-  }
-
-  sim::print_cdf_figure("Fig 11 (left)", "upstream ISP (the cheater)",
-                        "MEL relative to MEL of optimal routing",
-                        {"both-truthful", "one-cheater", "default"},
-                        {&up_honest, &up_cheat, &up_default});
-  sim::print_cdf_figure("Fig 11 (right)", "downstream ISP (truthful)",
-                        "MEL relative to MEL of optimal routing",
-                        {"both-truthful", "one-cheater", "default"},
-                        {&down_honest, &down_cheat, &down_default});
-
-  std::cout << "\n";
-  sim::paper_check(
-      "cheating does not help the cheating upstream (median MEL ratio)",
-      "truthful " + std::to_string(up_honest.value_at(0.5)) + " vs cheating " +
-          std::to_string(up_cheat.value_at(0.5)),
-      up_cheat.value_at(0.5) >= up_honest.value_at(0.5) - 0.05);
-  sim::paper_check(
-      "negotiation with a cheater is still no worse than default (median)",
-      "cheater-run downstream " + std::to_string(down_cheat.value_at(0.5)) +
-          " vs default " + std::to_string(down_default.value_at(0.5)),
-      down_cheat.value_at(0.5) <= down_default.value_at(0.5) + 0.05);
-  return 0;
+  return nexit::sim::scenario_shim_main("fig11", argc, argv);
 }

@@ -1,85 +1,12 @@
-// Figure 4 of the paper: the benefit of optimal and negotiated routing for
-// the distance metric. (a) CDF over ISP pairs of the total % reduction in
-// flow distance versus default (early-exit) routing; (b) CDF of the
-// individual per-ISP % reduction (two samples per pair).
+// Figure 4 of the paper: the benefit of optimal and negotiated routing for the distance metric.
 //
-// Paper claims reproduced here:
-//  - negotiated total gain tracks globally-optimal total gain closely;
-//  - the median total gain is small (the "price of anarchy" is low);
-//  - under global optimisation a sizable fraction of individual ISPs LOSE;
-//  - under negotiation no ISP loses.
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig4` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-  bench::JsonReport json(flags, "fig4_distance_gain");
-
-  sim::DistanceExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.run_flow_pair_baselines = false;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Figure 4", "distance gain of optimal vs negotiated routing",
-                          bench::universe_summary(cfg.universe));
-  const auto samples = sim::run_distance_experiment(cfg);
-  std::cout << "samples: " << samples.size() << " ISP pairs\n";
-
-  util::Cdf total_opt, total_neg, indiv_opt, indiv_neg;
-  std::size_t opt_losers = 0, neg_losers = 0, isps = 0;
-  for (const auto& s : samples) {
-    total_opt.add(s.total_gain_pct(s.optimal_km));
-    total_neg.add(s.total_gain_pct(s.negotiated_km));
-    for (int side = 0; side < 2; ++side) {
-      const double og = s.side_gain_pct(s.optimal_side_km, side);
-      const double ng = s.side_gain_pct(s.negotiated_side_km, side);
-      indiv_opt.add(og);
-      indiv_neg.add(ng);
-      ++isps;
-      if (og < -0.5) ++opt_losers;
-      if (ng < -0.5) ++neg_losers;
-    }
-  }
-
-  sim::print_cdf_figure("Fig 4a", "total gain across both ISPs",
-                        "% reduction in total flow km vs default routing",
-                        {"negotiated", "optimal"}, {&total_neg, &total_opt});
-  sim::print_cdf_figure("Fig 4b", "individual ISP gain",
-                        "% reduction in own-network flow km vs default",
-                        {"negotiated", "optimal"}, {&indiv_neg, &indiv_opt});
-
-  const double med_opt = total_opt.value_at(0.5);
-  const double med_neg = total_neg.value_at(0.5);
-  std::cout << "\n";
-  sim::paper_check(
-      "negotiated total gain is close to globally optimal (within ~1/3)",
-      "median optimal " + std::to_string(med_opt) + "%, negotiated " +
-          std::to_string(med_neg) + "%",
-      med_neg >= med_opt * 0.5);
-  sim::paper_check("median total gain is modest (paper ~4%; price of anarchy low)",
-                   "median total optimal gain " + std::to_string(med_opt) + "%",
-                   med_opt < 25.0);
-  sim::paper_check(
-      "a sizable fraction of ISPs lose under GLOBAL optimisation (paper ~1/3)",
-      std::to_string(opt_losers) + "/" + std::to_string(isps) +
-          " ISPs lose >0.5% of own distance",
-      opt_losers > isps / 20);
-  sim::paper_check("no ISP loses under NEGOTIATION",
-                   std::to_string(neg_losers) + "/" + std::to_string(isps) +
-                       " ISPs lose >0.5%",
-                   neg_losers == 0);
-
-  bench::record_universe(json, cfg.universe, cfg.threads);
-  json.metric("samples", static_cast<std::int64_t>(samples.size()));
-  json.metric_cdf("total_gain_pct.negotiated", total_neg);
-  json.metric_cdf("total_gain_pct.optimal", total_opt);
-  json.metric_cdf("individual_gain_pct.negotiated", indiv_neg);
-  json.metric_cdf("individual_gain_pct.optimal", indiv_opt);
-  json.metric("isps_losing.optimal", static_cast<std::int64_t>(opt_losers));
-  json.metric("isps_losing.negotiated", static_cast<std::int64_t>(neg_losers));
-  json.write();
-  return 0;
+  return nexit::sim::scenario_shim_main("fig4", argc, argv);
 }

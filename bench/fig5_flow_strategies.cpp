@@ -1,50 +1,12 @@
-// Figure 5: the flow-Pareto and flow-both-better strawman strategies, which
-// only discard bad per-flow-pair routings instead of negotiating across the
-// whole flow set. The paper's point: they achieve almost none of the
-// negotiated/optimal gain, so mutual gain requires trading across flows.
+// Figure 5: the flow-Pareto and flow-both-better strawman strategies.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig5` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::DistanceExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.run_flow_pair_baselines = true;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header(
-      "Figure 5", "flow-pair strategies that merely discard bad alternatives",
-      bench::universe_summary(cfg.universe));
-  const auto samples = sim::run_distance_experiment(cfg);
-  std::cout << "samples: " << samples.size() << " ISP pairs\n";
-
-  util::Cdf pareto, both_better, negotiated, optimal;
-  for (const auto& s : samples) {
-    pareto.add(s.total_gain_pct(s.pareto_km));
-    both_better.add(s.total_gain_pct(s.bothbetter_km));
-    negotiated.add(s.total_gain_pct(s.negotiated_km));
-    optimal.add(s.total_gain_pct(s.optimal_km));
-  }
-
-  sim::print_cdf_figure("Fig 5", "total gain of the flow-pair strategies",
-                        "% reduction in total flow km vs default routing",
-                        {"flow-both-better", "flow-Pareto", "negotiated",
-                         "optimal"},
-                        {&both_better, &pareto, &negotiated, &optimal});
-
-  const double med_pareto = pareto.value_at(0.5);
-  const double med_both = both_better.value_at(0.5);
-  const double med_neg = negotiated.value_at(0.5);
-  std::cout << "\n";
-  sim::paper_check(
-      "flow-pair strategies capture little of the negotiated gain",
-      "medians: flow-Pareto " + std::to_string(med_pareto) +
-          "%, flow-both-better " + std::to_string(med_both) + "%, negotiated " +
-          std::to_string(med_neg) + "%",
-      med_pareto < med_neg * 0.5 + 0.5 && med_both < med_neg * 0.75 + 0.5);
-  return 0;
+  return nexit::sim::scenario_shim_main("fig5", argc, argv);
 }

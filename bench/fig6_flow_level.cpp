@@ -1,97 +1,12 @@
-// Figure 6: flow-level view of optimal and negotiated routing — the CDF of
-// per-flow % gain versus default, aggregated over all flows of all pairs.
-// Paper claims: a small fraction of flows gains a lot (7% gain >20%, 1%
-// gain >50%); negotiation catches almost all flows that need optimisation;
-// only ~20% of flows need non-default routes.
+// Figure 6: flow-level view of optimal and negotiated routing.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig6` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include <chrono>
-
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-  bench::JsonReport json(flags, "fig6_flow_level");
-
-  sim::DistanceExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.run_flow_pair_baselines = false;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Figure 6", "flow-level gains of optimal and negotiated routing",
-                          bench::universe_summary(cfg.universe));
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto samples = sim::run_distance_experiment(cfg);
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
-
-  util::Cdf flow_opt, flow_neg;
-  std::size_t flows = 0, moved = 0;
-  double neg20 = 0, neg50 = 0, opt20 = 0;
-  for (const auto& s : samples) {
-    for (double g : s.flow_gain_pct_optimal) {
-      flow_opt.add(g);
-      if (g > 20.0) ++opt20;
-    }
-    for (double g : s.flow_gain_pct_negotiated) {
-      flow_neg.add(g);
-      if (g > 20.0) ++neg20;
-      if (g > 50.0) ++neg50;
-    }
-    flows += s.flow_count;
-    moved += s.flows_moved;
-  }
-  std::cout << "samples: " << samples.size() << " ISP pairs, " << flows
-            << " flows\n";
-
-  sim::print_cdf_figure("Fig 6", "per-flow gain",
-                        "% reduction of the flow's end-to-end km vs default",
-                        {"negotiated", "optimal"}, {&flow_neg, &flow_opt});
-
-  std::cout << "\n";
-  sim::paper_check(
-      "a heavy tail of flows gains substantially (paper: 7% >20%, 1% >50%)",
-      std::to_string(100.0 * neg20 / flows) + "% of flows gain >20%, " +
-          std::to_string(100.0 * neg50 / flows) + "% gain >50% (negotiated)",
-      neg20 > 0 && neg50 > 0 && neg20 >= neg50);
-  sim::paper_check(
-      "negotiation catches almost all flows that optimal improves >20%",
-      std::to_string(neg20) + " vs " + std::to_string(opt20) +
-          " flows improved >20% (negotiated vs optimal)",
-      neg20 >= 0.6 * opt20);
-  sim::paper_check(
-      "only a minority of flows needs non-default routing (paper ~20%)",
-      std::to_string(100.0 * moved / flows) + "% of flows moved off default",
-      moved < flows / 2);
-
-  std::size_t calls_full = 0, calls_inc = 0, rows = 0, rows_full_eq = 0;
-  for (const auto& s : samples) {
-    calls_full += s.eval_calls_full;
-    calls_inc += s.eval_calls_incremental;
-    rows += s.eval_rows_computed;
-    rows_full_eq += s.eval_rows_full_equivalent;
-  }
-  std::printf(
-      "\nwall-clock %.1f ms; evaluate calls %zu full + %zu incremental; "
-      "preference rows %zu of %zu full-equivalent\n",
-      wall_ms, calls_full, calls_inc, rows, rows_full_eq);
-
-  bench::record_universe(json, cfg.universe, cfg.threads);
-  json.metric("wall_ms", wall_ms);
-  json.metric("samples", static_cast<std::int64_t>(samples.size()));
-  json.metric("flows", static_cast<std::int64_t>(flows));
-  json.metric("flows_moved", static_cast<std::int64_t>(moved));
-  json.metric("eval_calls_full", static_cast<std::int64_t>(calls_full));
-  json.metric("eval_calls_incremental", static_cast<std::int64_t>(calls_inc));
-  json.metric("eval_rows_computed", static_cast<std::int64_t>(rows));
-  json.metric("eval_rows_full_equivalent",
-              static_cast<std::int64_t>(rows_full_eq));
-  json.metric_cdf("flow_gain_pct.negotiated", flow_neg);
-  json.metric_cdf("flow_gain_pct.optimal", flow_opt);
-  json.write();
-  return 0;
+  return nexit::sim::scenario_shim_main("fig6", argc, argv);
 }

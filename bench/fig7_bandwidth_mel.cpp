@@ -1,144 +1,12 @@
-// Figure 7: managing overload after an interconnection failure. For every
-// (pair, failed link) sample, the affected flows are re-routed by default
-// (early-exit), by Nexit negotiation (bandwidth oracles, reassignment each
-// 5% of traffic), and by the globally optimal fractional LP. The figure
-// plots the CDF of MEL(method)/MEL(optimal) for the upstream and the
-// downstream ISP.
+// Figure 7: managing overload after an interconnection failure.
 //
-// Paper claims: the default ratio is large (>2 for half the upstream
-// samples, >5 for 10%); negotiated is close to 1 almost everywhere.
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig7` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include <chrono>
-
-#include "bench_common.hpp"
-
-namespace {
-
-/// FNV-1a over every sample's MEL doubles and move counts: a digest equal
-/// across --threads values (and across --incremental on/off) demonstrates
-/// the experiment is bit-identical under both axes.
-std::uint64_t sample_digest(const std::vector<nexit::sim::BandwidthSample>& ss) {
-  using nexit::bench::double_bits;
-  using nexit::bench::fnv1a_mix;
-  std::uint64_t h = nexit::bench::kFnvOffsetBasis;
-  for (const auto& s : ss) {
-    h = fnv1a_mix(h, s.failed_ix);
-    h = fnv1a_mix(h, s.flows_moved);
-    for (int side = 0; side < 2; ++side) {
-      h = fnv1a_mix(h, double_bits(s.mel_default[side]));
-      h = fnv1a_mix(h, double_bits(s.mel_negotiated[side]));
-      h = fnv1a_mix(h, double_bits(s.mel_optimal[side]));
-    }
-  }
-  return h;
-}
-
-}  // namespace
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-  bench::JsonReport json(flags, "fig7_bandwidth_mel");
-
-  sim::BandwidthExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
-  cfg.negotiation.incremental_evaluation = flags.get_bool("incremental", true);
-  // Keep wall_ms an honest measurement in every build type; the ctest
-  // suites own the debug cross-check.
-  cfg.negotiation.verify_incremental_every = -1;
-  cfg.include_unilateral = false;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Figure 7", "MEL after failures: default and negotiated vs optimal",
-                          bench::universe_summary(cfg.universe));
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto samples = sim::run_bandwidth_experiment(cfg);
-  const double wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
-  std::cout << "samples: " << samples.size() << " failed interconnections\n";
-
-  util::Cdf def_up, neg_up, def_down, neg_down;
-  std::size_t def_up_gt2 = 0, def_up_gt5 = 0, neg_up_near1 = 0;
-  for (const auto& s : samples) {
-    const double du = s.ratio(s.mel_default, 0);
-    const double nu = s.ratio(s.mel_negotiated, 0);
-    def_up.add(du);
-    neg_up.add(nu);
-    def_down.add(s.ratio(s.mel_default, 1));
-    neg_down.add(s.ratio(s.mel_negotiated, 1));
-    if (du > 2.0) ++def_up_gt2;
-    if (du > 5.0) ++def_up_gt5;
-    if (nu < 1.25) ++neg_up_near1;
-  }
-
-  sim::print_cdf_figure("Fig 7 (left)", "upstream ISP",
-                        "MEL relative to MEL of optimal routing",
-                        {"negotiated", "default"}, {&neg_up, &def_up});
-  sim::print_cdf_figure("Fig 7 (right)", "downstream ISP",
-                        "MEL relative to MEL of optimal routing",
-                        {"negotiated", "default"}, {&neg_down, &def_down});
-
-  const std::size_t n = samples.size();
-  std::cout << "\n";
-  sim::paper_check(
-      "default routing often overloads the upstream (paper: ratio >2 for half)",
-      std::to_string(100.0 * def_up_gt2 / n) + "% of samples >2x optimal, " +
-          std::to_string(100.0 * def_up_gt5 / n) + "% >5x",
-      def_up_gt2 > n / 10);
-  sim::paper_check(
-      "negotiated routing is close to optimal (most MEL ratios ~1)",
-      std::to_string(100.0 * neg_up_near1 / n) +
-          "% of upstream samples within 1.25x of optimal; median " +
-          std::to_string(neg_up.value_at(0.5)),
-      neg_up.value_at(0.5) < 1.3);
-  sim::paper_check("negotiated stochastically dominates default (upstream)",
-                   "median default " + std::to_string(def_up.value_at(0.5)) +
-                       " vs negotiated " + std::to_string(neg_up.value_at(0.5)),
-                   neg_up.value_at(0.5) <= def_up.value_at(0.5) + 1e-9);
-
-  // Evaluate-call work: how much of the naive full-recompute row work the
-  // negotiations actually performed (1.0 with --incremental=0).
-  std::size_t calls_full = 0, calls_inc = 0, rows = 0, rows_full_eq = 0;
-  for (const auto& s : samples) {
-    calls_full += s.eval_calls_full;
-    calls_inc += s.eval_calls_incremental;
-    rows += s.eval_rows_computed;
-    rows_full_eq += s.eval_rows_full_equivalent;
-  }
-  const double row_fraction =
-      rows_full_eq > 0
-          ? static_cast<double>(rows) / static_cast<double>(rows_full_eq)
-          : 1.0;
-  std::printf(
-      "\nwall-clock %.1f ms; evaluate calls %zu full + %zu incremental; "
-      "preference rows %zu of %zu full-equivalent (%.1f%%)\n",
-      wall_ms, calls_full, calls_inc, rows, rows_full_eq,
-      100.0 * row_fraction);
-  std::printf("outcome digest: %016llx\n",
-              static_cast<unsigned long long>(sample_digest(samples)));
-
-  bench::record_universe(json, cfg.universe, cfg.threads);
-  json.config("reassign", cfg.negotiation.reassign_traffic_fraction);
-  json.config("incremental",
-              static_cast<std::int64_t>(cfg.negotiation.incremental_evaluation));
-  json.metric("wall_ms", wall_ms);
-  json.metric("eval_calls_full", static_cast<std::int64_t>(calls_full));
-  json.metric("eval_calls_incremental", static_cast<std::int64_t>(calls_inc));
-  json.metric("eval_rows_computed", static_cast<std::int64_t>(rows));
-  json.metric("eval_rows_full_equivalent",
-              static_cast<std::int64_t>(rows_full_eq));
-  json.metric("eval_row_fraction", row_fraction);
-  json.metric("samples", static_cast<std::int64_t>(n));
-  json.metric_cdf("mel_ratio.upstream.default", def_up);
-  json.metric_cdf("mel_ratio.upstream.negotiated", neg_up);
-  json.metric_cdf("mel_ratio.downstream.default", def_down);
-  json.metric_cdf("mel_ratio.downstream.negotiated", neg_down);
-  json.write();
-  return 0;
+  return nexit::sim::scenario_shim_main("fig7", argc, argv);
 }

@@ -1,56 +1,12 @@
-// Figure 8: what happens to the DOWNSTREAM ISP when the upstream unilaterally
-// load-balances its own network after a failure (no negotiation). The figure
-// plots the CDF of MEL(upstream-optimized)/MEL(default) measured on the
-// downstream's links. Paper claims: the effect is unpredictable — sometimes
-// it helps, sometimes it badly hurts (>2x default for ~10% of samples).
+// Figure 8: unilateral upstream optimisation and its downstream impact.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig8` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::BandwidthExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
-  cfg.include_unilateral = true;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Figure 8",
-                          "unilateral upstream optimisation, impact on the downstream",
-                          bench::universe_summary(cfg.universe));
-  const auto samples = sim::run_bandwidth_experiment(cfg);
-  std::cout << "samples: " << samples.size() << " failed interconnections\n";
-
-  util::Cdf down_ratio;  // unilateral vs default, downstream links
-  std::size_t helped = 0, hurt = 0, hurt2x = 0;
-  for (const auto& s : samples) {
-    if (s.mel_default[1] <= 0.0 || s.mel_unilateral[1] <= 0.0) continue;
-    const double r = s.mel_unilateral[1] / s.mel_default[1];
-    down_ratio.add(r);
-    if (r < 0.99) ++helped;
-    if (r > 1.01) ++hurt;
-    if (r > 2.0) ++hurt2x;
-  }
-
-  sim::print_cdf_figure(
-      "Fig 8", "downstream impact of upstream-centric optimisation",
-      "downstream MEL, upstream-optimized / default (>1 means harmed)",
-      {"upstream-optimized/default"}, {&down_ratio});
-
-  const std::size_t n = down_ratio.sorted_samples().size();
-  std::cout << "\n";
-  sim::paper_check(
-      "the downstream outcome is unpredictable: both helped and hurt occur",
-      std::to_string(100.0 * helped / n) + "% helped, " +
-          std::to_string(100.0 * hurt / n) + "% hurt, " +
-          std::to_string(100.0 * hurt2x / n) + "% hurt >2x",
-      helped > 0 && hurt > 0);
-  sim::paper_check("a noticeable share of samples is harmed badly (paper ~10% >2x)",
-                   std::to_string(100.0 * hurt2x / n) + "% over 2x default MEL",
-                   hurt2x > 0);
-  return 0;
+  return nexit::sim::scenario_shim_main("fig8", argc, argv);
 }

@@ -1,58 +1,12 @@
-// Figure 9: negotiation with different optimisation criteria (§5.3). The
-// upstream ISP optimises bandwidth (avoid overload after a failure) while
-// the downstream optimises distance. Left: upstream MEL relative to optimal
-// (default vs negotiated). Right: downstream distance reduction vs default.
-// Paper claim: both ISPs successfully optimise their own metric.
+// Figure 9: negotiation with different optimisation criteria (§5.3).
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=fig9` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include "bench_common.hpp"
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace nexit;
-  util::Flags flags(argc, argv);
-
-  sim::BandwidthExperimentConfig cfg;
-  cfg.universe = bench::universe_from_flags(flags);
-  cfg.universe.max_pairs = static_cast<std::size_t>(flags.get_int("pairs", 60));
-  cfg.negotiation = bench::negotiation_from_flags(flags);
-  cfg.negotiation.reassign_traffic_fraction = flags.get_double("reassign", 0.05);
-  cfg.downstream_uses_distance = true;
-  cfg.include_unilateral = false;
-  cfg.threads = bench::threads_from_flags(flags);
-  bench::reject_unknown_flags(flags);
-
-  sim::print_bench_header("Figure 9",
-                          "diverse criteria: upstream=bandwidth, downstream=distance",
-                          bench::universe_summary(cfg.universe));
-  const auto samples = sim::run_bandwidth_experiment(cfg);
-  std::cout << "samples: " << samples.size() << " failed interconnections\n";
-
-  util::Cdf up_def, up_neg, down_gain;
-  for (const auto& s : samples) {
-    up_def.add(s.ratio(s.mel_default, 0));
-    up_neg.add(s.ratio(s.mel_negotiated, 0));
-    down_gain.add(s.downstream_distance_gain_pct);
-  }
-
-  sim::print_cdf_figure("Fig 9 (left)", "upstream ISP controls overload",
-                        "MEL relative to MEL of optimal routing",
-                        {"negotiated", "default"}, {&up_neg, &up_def});
-  sim::print_cdf_figure("Fig 9 (right)", "downstream ISP reduces distance",
-                        "% reduction of affected flows' km inside downstream "
-                        "vs default",
-                        {"negotiated"}, {&down_gain});
-
-  std::cout << "\n";
-  sim::paper_check(
-      "upstream effectively controls overload despite diverse criteria",
-      "median upstream MEL ratio: negotiated " +
-          std::to_string(up_neg.value_at(0.5)) + " vs default " +
-          std::to_string(up_def.value_at(0.5)),
-      up_neg.value_at(0.5) <= up_def.value_at(0.5) + 1e-9);
-  sim::paper_check(
-      "downstream significantly reduces its distance",
-      "median downstream distance gain " +
-          std::to_string(down_gain.value_at(0.5)) + "%, p90 " +
-          std::to_string(down_gain.value_at(0.9)) + "%",
-      down_gain.value_at(0.9) > 5.0 && down_gain.min() > -1.0);
-  return 0;
+  return nexit::sim::scenario_shim_main("fig9", argc, argv);
 }

@@ -12,17 +12,22 @@
 //        --moves (loads-microbench move count, default 2000), --json=PATH.
 
 #include <chrono>
+#include <iostream>
 
 #include "bench_common.hpp"
 #include "capacity/capacity.hpp"
 #include "core/oracles.hpp"
 #include "routing/incremental_loads.hpp"
+#include "routing/loads.hpp"
+#include "routing/pair_routing.hpp"
+#include "sim/report.hpp"
+#include "traffic/traffic.hpp"
 
 namespace {
 
 using namespace nexit;
-using bench::double_bits;
-using bench::fnv1a_mix;
+using util::double_bits;
+using util::fnv1a_mix;
 using Clock = std::chrono::steady_clock;
 
 double ms_since(Clock::time_point t0) {
@@ -30,7 +35,7 @@ double ms_since(Clock::time_point t0) {
 }
 
 std::uint64_t outcome_digest(const core::NegotiationOutcome& o) {
-  std::uint64_t h = bench::kFnvOffsetBasis;
+  std::uint64_t h = util::kFnvOffsetBasis;
   for (std::size_t ix : o.assignment.ix_of_flow) h = fnv1a_mix(h, ix);
   h = fnv1a_mix(h, double_bits(o.true_gain_a));
   h = fnv1a_mix(h, double_bits(o.true_gain_b));
@@ -40,7 +45,7 @@ std::uint64_t outcome_digest(const core::NegotiationOutcome& o) {
 }
 
 std::uint64_t loadmap_digest(const routing::LoadMap& m) {
-  std::uint64_t h = bench::kFnvOffsetBasis;
+  std::uint64_t h = util::kFnvOffsetBasis;
   for (int s = 0; s < 2; ++s)
     for (double v : m.per_side[static_cast<std::size_t>(s)])
       h = fnv1a_mix(h, double_bits(v));
@@ -59,7 +64,7 @@ struct ModeStats {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  bench::JsonReport json(flags, "micro_incremental");
+  util::JsonReport json(flags, "micro_incremental");
 
   sim::UniverseConfig ucfg = bench::universe_from_flags(flags);
   ucfg.isp_count = static_cast<std::size_t>(flags.get_int("isps", 20));

@@ -27,9 +27,12 @@
 // shell:  diff <(... --threads=1) <(... --threads=4)
 
 #include <chrono>
+#include <cstdio>
+#include <iostream>
 
 #include "bench_common.hpp"
 #include "runtime/scenario.hpp"
+#include "sim/report.hpp"
 
 using namespace nexit;
 
@@ -38,8 +41,8 @@ namespace {
 /// FNV-1a over every session's terminal state and assignment: any
 /// scheduling-dependent divergence shows up as a different digest.
 std::uint64_t outcome_digest(const runtime::ScenarioReport& report) {
-  std::uint64_t h = nexit::bench::kFnvOffsetBasis;
-  const auto mix = [&h](std::uint64_t v) { h = nexit::bench::fnv1a_mix(h, v); };
+  std::uint64_t h = util::kFnvOffsetBasis;
+  const auto mix = [&h](std::uint64_t v) { h = util::fnv1a_mix(h, v); };
   for (const auto& s : report.sessions) {
     mix(static_cast<std::uint64_t>(s.status));
     mix(s.messages);
@@ -56,7 +59,7 @@ std::uint64_t outcome_digest(const runtime::ScenarioReport& report) {
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
-  bench::JsonReport json(flags, "runtime_throughput");
+  util::JsonReport json(flags, "runtime_throughput");
 
   runtime::ScenarioConfig cfg;
   cfg.universe = bench::universe_from_flags(flags);
@@ -70,13 +73,9 @@ int main(int argc, char** argv) {
   cfg.faults.drop = flags.get_double("drop", 0.0);
   cfg.faults.corrupt = flags.get_double("corrupt", 0.0);
   cfg.runtime.threads = bench::threads_from_flags(flags);
-  const std::string transport = flags.get_string("transport", "memory");
-  if (transport == "socket") {
-    cfg.transport = runtime::Transport::kSocketPair;
-  } else if (transport != "memory" && !flags.help_requested()) {
-    std::cerr << "error: --transport expects memory or socket\n";
-    return 2;
-  }
+  const std::string transport =
+      flags.get_choice("transport", {"memory", "socket"}, "memory");
+  if (transport == "socket") cfg.transport = runtime::Transport::kSocketPair;
   bench::reject_unknown_flags(flags);
 
   sim::print_bench_header(

@@ -1,148 +1,12 @@
-// Figure 3 of the paper (the worked table): preference lists for the Fig. 2
-// failure example, and the round-by-round Nexit trace that reaches the
-// mutually acceptable solution (f2 on the bottom interconnection, f3 on the
-// top). Prints the initial lists, the reassigned list, and the proposal
-// trace, like the paper's table. Run with --seed=N to see a different
-// tie-break realisation (the paper notes a suboptimal outcome is possible).
+// Figure 3 of the paper (the worked table): the Fig. 2 preference lists and the round-by-round Nexit trace.
+//
+// Legacy shim: this binary is now a preset of the declarative scenario API
+// (sim/spec.hpp + sim/scenarios.hpp). It accepts the full spec flag
+// surface and is byte-identical to `nexit_run --scenario=table3` — the CI
+// migration guard diffs the two outputs on every run.
 
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "core/engine.hpp"
-#include "sim/report.hpp"
-#include "util/flags.hpp"
-
-// Minimal scripted oracle mirroring the paper's lists.
-namespace {
-
-using namespace nexit;
-
-class TableOracle : public core::PreferenceOracle {
- public:
-  TableOracle(std::vector<core::PreferenceList> phases, bool reassign)
-      : phases_(std::move(phases)), reassign_(reassign) {}
-
-  core::Evaluation evaluate(const core::OracleContext&) override {
-    const std::size_t i = std::min(calls_++, phases_.size() - 1);
-    core::Evaluation e;
-    e.classes = phases_[i];
-    for (const auto& fp : e.classes.flows)
-      e.true_value.emplace_back(fp.pref_of_candidate.begin(),
-                                fp.pref_of_candidate.end());
-    return e;
-  }
-  [[nodiscard]] bool wants_reassignment() const override { return reassign_; }
-
- private:
-  std::vector<core::PreferenceList> phases_;
-  bool reassign_;
-  std::size_t calls_ = 0;
-};
-
-core::PreferenceList rows(const std::vector<std::vector<int>>& r) {
-  core::PreferenceList l;
-  for (std::size_t i = 0; i < r.size(); ++i)
-    l.flows.push_back({traffic::FlowId{static_cast<std::int32_t>(i)}, r[i]});
-  return l;
-}
-
-}  // namespace
+#include "sim/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  util::Flags flags(argc, argv);
-  // The only flag this worked example takes; read it up front so unknown
-  // flags are rejected before any output.
-  const auto seed_flag = static_cast<std::uint64_t>(flags.get_int("seed", 0));
-  bench::reject_unknown_flags(flags);
-  sim::print_bench_header("Figure 3 (table)",
-                          "worked preference-list example of Fig. 2",
-                          "two flows (f2, f3), candidates {top, bottom}, P=1");
-
-  std::cout <<
-      "\nInitial preference lists ((A,B) tuples; defaults = bottom):\n"
-      "          f2top   f2bot   f3top   f3bot\n"
-      "  (A,B)  (-1,0)   (0,0)   (0,0)   (0,0)\n"
-      "\nReassignment after f2 settles on bottom:\n"
-      "          f3top   f3bot\n"
-      "  (A,B)   (0,1)   (0,0)\n";
-
-  // Engine setup identical to tests/core_engine_test.cpp WorkedExample.
-  topology::IspPair pair = [] {
-    auto mk = [](std::int32_t asn) {
-      std::vector<topology::Pop> pops;
-      graph::Graph g(2);
-      for (int i = 0; i < 2; ++i)
-        pops.push_back(topology::Pop{topology::PopId{i}, static_cast<std::size_t>(i),
-                                     "c" + std::to_string(i),
-                                     geo::Coord{0.0, static_cast<double>(i)}, 1.0});
-      g.add_edge(0, 1, 1.0, 100.0);
-      return topology::IspTopology{topology::AsNumber{asn}, "AS", std::move(pops),
-                                   std::move(g)};
-    };
-    return *topology::make_pair_if_peers(mk(1), mk(2), 2);
-  }();
-  routing::PairRouting routing(pair);
-  std::vector<traffic::Flow> flows{
-      {traffic::FlowId{0}, traffic::Direction::kAtoB, topology::PopId{0},
-       topology::PopId{0}, 1.0},
-      {traffic::FlowId{1}, traffic::Direction::kAtoB, topology::PopId{1},
-       topology::PopId{1}, 1.0}};
-  core::NegotiationProblem problem;
-  problem.routing = &routing;
-  problem.flows = &flows;
-  problem.negotiable = {0, 1};
-  problem.candidates = {0, 1};  // 0 = "top", 1 = "bottom"
-  problem.default_assignment.ix_of_flow = {1, 1};
-
-  int reached_paper_outcome = 0;
-  const int runs = 100;
-  std::uint64_t shown_seed = seed_flag;
-  for (std::uint64_t seed = 1; seed <= runs; ++seed) {
-    TableOracle a({rows({{-1, 0}, {0, 0}})}, false);
-    TableOracle b({rows({{0, 0}, {0, 0}}), rows({{0, 0}, {1, 0}})}, true);
-    core::NegotiationConfig cfg;
-    cfg.seed = seed;
-    cfg.reassign_traffic_fraction = 0.5;
-    cfg.record_trace = true;
-    core::NegotiationEngine engine(problem, a, b, cfg);
-    auto out = engine.run();
-    const bool paper_outcome = out.assignment.ix_of_flow[1] == 0;  // f3 on top
-    if (paper_outcome && shown_seed == 0) shown_seed = seed;
-    reached_paper_outcome += paper_outcome ? 1 : 0;
-  }
-
-  // Re-run the chosen seed with a printed trace.
-  TableOracle a({rows({{-1, 0}, {0, 0}})}, false);
-  TableOracle b({rows({{0, 0}, {0, 0}}), rows({{0, 0}, {1, 0}})}, true);
-  core::NegotiationConfig cfg;
-  cfg.seed = shown_seed == 0 ? 1 : shown_seed;
-  cfg.reassign_traffic_fraction = 0.5;
-  cfg.record_trace = true;
-  core::NegotiationEngine engine(problem, a, b, cfg);
-  auto out = engine.run();
-
-  std::cout << "\nNegotiation trace (seed " << cfg.seed << "):\n";
-  const char* names[] = {"f2", "f3"};
-  const char* sides[] = {"ISP-A", "ISP-B"};
-  const char* links[] = {"top", "bottom"};
-  for (const auto& tr : out.trace) {
-    std::cout << "  round " << tr.round << ": " << sides[tr.proposer]
-              << " proposes " << names[tr.flow.value()] << " -> "
-              << links[tr.interconnection] << "  (A " << tr.pref_a << ", B "
-              << tr.pref_b << ") " << (tr.accepted ? "accepted" : "rejected")
-              << (tr.reassigned_after ? ", preferences reassigned" : "") << "\n";
-  }
-  std::cout << "final: f2 -> " << links[out.assignment.ix_of_flow[0]]
-            << ", f3 -> " << links[out.assignment.ix_of_flow[1]]
-            << "; gains A " << out.true_gain_a << ", B " << out.true_gain_b
-            << "; stop: " << core::to_string(out.stop_reason) << "\n\n";
-
-  sim::paper_check(
-      "the mutually acceptable Fig. 2e outcome (f2 bottom, f3 top) is reached "
-      "for most tie-break realisations",
-      std::to_string(reached_paper_outcome) + "/" + std::to_string(runs) +
-          " random-seed runs reach it (the paper notes the suboptimal "
-          "realisation exists too)",
-      reached_paper_outcome > runs / 3);
-  return 0;
+  return nexit::sim::scenario_shim_main("table3", argc, argv);
 }

@@ -11,7 +11,7 @@
 
 #include "capacity/capacity.hpp"
 #include "core/engine.hpp"
-#include "core/oracles.hpp"
+#include "core/oracle_registry.hpp"
 #include "metrics/metrics.hpp"
 #include "sim/pair_universe.hpp"
 #include "traffic/traffic.hpp"
@@ -48,12 +48,18 @@ int main(int argc, char** argv) {
             << problem.negotiable.size() << " flows on the table\n"
             << "upstream optimises LINK LOAD, downstream optimises DISTANCE\n";
 
+  // Objectives are registry names — the same strings a spec file uses
+  // (`oracle-a=bandwidth oracle-b=distance`, see sim/spec.hpp).
   core::PreferenceConfig prefs;
-  core::BandwidthOracle upstream(0, prefs, caps);   // avoids overload
-  core::DistanceOracle downstream(1, prefs);        // saves km
+  const core::OracleRegistry& registry = core::OracleRegistry::global();
+  const core::BuiltOracle upstream =
+      registry.build(core::OracleSpec::parse("bandwidth"), {0, prefs, &caps});
+  const core::BuiltOracle downstream =
+      registry.build(core::OracleSpec::parse("distance"), {1, prefs, nullptr});
   core::NegotiationConfig ncfg;
   ncfg.reassign_traffic_fraction = 0.05;
-  core::NegotiationEngine engine(problem, upstream, downstream, ncfg);
+  core::NegotiationEngine engine(problem, upstream.get(), downstream.get(),
+                                 ncfg);
   auto outcome = engine.run();
 
   auto def_loads =

@@ -1,0 +1,109 @@
+#include "core/oracle_registry.hpp"
+
+#include <stdexcept>
+
+#include "core/cheating.hpp"
+#include "core/oracles.hpp"
+
+namespace nexit::core {
+
+namespace {
+
+constexpr const char* kCheatPrefix = "cheat:";
+
+const routing::LoadMap& require_capacities(const OracleBuildInputs& in,
+                                           const char* name) {
+  if (in.capacities == nullptr) {
+    throw std::invalid_argument(std::string("oracle '") + name +
+                                "' needs link capacities, but the experiment "
+                                "provides none (distance experiments compute "
+                                "no capacity model)");
+  }
+  return *in.capacities;
+}
+
+}  // namespace
+
+std::string OracleSpec::to_string() const {
+  return cheat ? kCheatPrefix + name : name;
+}
+
+OracleSpec OracleSpec::parse(const std::string& text) {
+  OracleSpec spec;
+  const std::string prefix = kCheatPrefix;
+  if (text.rfind(prefix, 0) == 0) {
+    spec.cheat = true;
+    spec.name = text.substr(prefix.size());
+  } else {
+    spec.name = text;
+  }
+  return spec;
+}
+
+const OracleRegistry& OracleRegistry::global() {
+  static const OracleRegistry registry = [] {
+    OracleRegistry r;
+    r.entries_["distance"] = {
+        "geographic km inside the ISP's own network (§5.1)", false,
+        [](const OracleBuildInputs& in) -> std::unique_ptr<PreferenceOracle> {
+          return std::make_unique<DistanceOracle>(in.side, in.preferences);
+        }};
+    r.entries_["bandwidth"] = {
+        "max link-load increase / capacity (MEL, §5.2; open flows counted "
+        "at their tentative interconnection)",
+        true,
+        [](const OracleBuildInputs& in) -> std::unique_ptr<PreferenceOracle> {
+          return std::make_unique<BandwidthOracle>(
+              in.side, in.preferences, require_capacities(in, "bandwidth"),
+              OpenFlowModel::kAtTentative);
+        }};
+    r.entries_["bandwidth-excluded"] = {
+        "MEL with the Fig. 3 independence model (open flows invisible)", true,
+        [](const OracleBuildInputs& in) -> std::unique_ptr<PreferenceOracle> {
+          return std::make_unique<BandwidthOracle>(
+              in.side, in.preferences,
+              require_capacities(in, "bandwidth-excluded"),
+              OpenFlowModel::kExcluded);
+        }};
+    r.entries_["piecewise"] = {
+        "Fortz-Thorup piecewise-linear link cost (§5.2 alternate metric)",
+        true,
+        [](const OracleBuildInputs& in) -> std::unique_ptr<PreferenceOracle> {
+          return std::make_unique<PiecewiseCostOracle>(
+              in.side, in.preferences, require_capacities(in, "piecewise"));
+        }};
+    return r;
+  }();
+  return registry;
+}
+
+const OracleRegistry::Entry* OracleRegistry::find(
+    const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> OracleRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+BuiltOracle OracleRegistry::build(const OracleSpec& spec,
+                                  const OracleBuildInputs& in) const {
+  const Entry* entry = find(spec.name);
+  if (entry == nullptr) {
+    std::string msg = "unknown oracle '" + spec.name + "'; registered:";
+    for (const std::string& name : names()) msg += " " + name;
+    throw std::invalid_argument(msg);
+  }
+  std::unique_ptr<PreferenceOracle> truthful = entry->make(in);
+  std::unique_ptr<PreferenceOracle> cheat;
+  if (spec.cheat) {
+    cheat = std::make_unique<CheatingOracle>(*truthful, in.preferences.range);
+  }
+  return BuiltOracle(std::move(truthful), std::move(cheat));
+}
+
+}  // namespace nexit::core

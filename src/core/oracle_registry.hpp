@@ -1,0 +1,94 @@
+#pragma once
+
+// String-keyed construction of preference oracles. This is the seam that
+// makes scenarios declarative: an experiment config (or a spec file) names
+// its per-side objective — "distance", "bandwidth", "piecewise",
+// "cheat:<inner>" — and the experiment engines build the oracle through the
+// registry instead of hard-coding a bool per paper figure. New oracle kinds
+// register here once and become spellable from every spec file and bench.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/preference.hpp"
+#include "routing/loads.hpp"
+
+namespace nexit::core {
+
+/// Declarative name of one ISP's objective: a registry key plus the §5.4
+/// cheating decorator. Spelled `name` or `cheat:name` in specs and flags.
+struct OracleSpec {
+  std::string name = "distance";
+  bool cheat = false;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Splits an optional "cheat:" prefix; the base name is validated later
+  /// (OracleRegistry::find / ExperimentSpec::validate), not here.
+  static OracleSpec parse(const std::string& text);
+
+  friend bool operator==(const OracleSpec&, const OracleSpec&) = default;
+};
+
+/// Everything an oracle factory may need. `capacities` must outlive the
+/// built oracle and is required only by load-dependent kinds (the registry
+/// entry says which); the distance experiment passes nullptr.
+struct OracleBuildInputs {
+  int side = 0;
+  PreferenceConfig preferences;
+  const routing::LoadMap* capacities = nullptr;
+};
+
+/// Owning handle for a built oracle. The cheating decorator wraps a
+/// truthful inner oracle that must live exactly as long — both are owned
+/// here so the engine can hold plain references.
+class BuiltOracle {
+ public:
+  BuiltOracle(std::unique_ptr<PreferenceOracle> truthful,
+              std::unique_ptr<PreferenceOracle> cheat)
+      : truthful_(std::move(truthful)), cheat_(std::move(cheat)) {}
+
+  /// The oracle the engine should negotiate with (the decorator if any).
+  [[nodiscard]] PreferenceOracle& get() const {
+    return cheat_ ? *cheat_ : *truthful_;
+  }
+
+ private:
+  std::unique_ptr<PreferenceOracle> truthful_;
+  std::unique_ptr<PreferenceOracle> cheat_;
+};
+
+class OracleRegistry {
+ public:
+  struct Entry {
+    std::string description;
+    /// True when the factory dereferences OracleBuildInputs::capacities;
+    /// build() (and spec validation) reject such oracles without one.
+    bool needs_capacities = false;
+    std::unique_ptr<PreferenceOracle> (*make)(const OracleBuildInputs&) =
+        nullptr;
+  };
+
+  /// The process-wide registry with the built-in oracle kinds: "distance",
+  /// "bandwidth" (MEL, open flows at tentative), "bandwidth-excluded" (MEL,
+  /// Fig. 3 independence open-flow model), "piecewise" (Fortz-Thorup cost).
+  static const OracleRegistry& global();
+
+  [[nodiscard]] const Entry* find(const std::string& name) const;
+  /// Registered base names, sorted — error messages and --help list these.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Builds `spec.name`, wrapped in a CheatingOracle when `spec.cheat`.
+  /// Throws std::invalid_argument for an unknown name or a load-dependent
+  /// oracle built without capacities (spec validation reports the same
+  /// conditions as config errors before any engine runs).
+  [[nodiscard]] BuiltOracle build(const OracleSpec& spec,
+                                  const OracleBuildInputs& in) const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace nexit::core

@@ -1,7 +1,8 @@
 #include "sim/bandwidth_experiment.hpp"
 
-#include "core/cheating.hpp"
-#include "core/oracles.hpp"
+#include <stdexcept>
+
+#include "core/oracle_registry.hpp"
 #include "metrics/metrics.hpp"
 #include "opt/min_max_load.hpp"
 #include "routing/loads.hpp"
@@ -23,6 +24,16 @@ constexpr std::size_t kEngineSeedStream = 1;
 
 std::vector<BandwidthSample> run_bandwidth_experiment(
     const BandwidthExperimentConfig& config) {
+  // Reject unknown oracle names before the worker pool: a throw inside a
+  // pool worker would terminate the process instead of propagating.
+  for (const core::OracleSpec& objective : config.objective) {
+    if (core::OracleRegistry::global().find(objective.name) == nullptr) {
+      // build() throws the unknown-name error before touching capacities.
+      (void)core::OracleRegistry::global().build(
+          objective, {0, config.negotiation.preferences, nullptr});
+    }
+  }
+
   // Failure experiments need >= 3 interconnections (>= 2 survivors).
   const std::vector<topology::IspPair> pairs =
       build_pair_universe(config.universe, 3);
@@ -99,32 +110,20 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
       s.mel_optimal[0] = metrics::side_mel(optimal_loads, caps, 0);
       s.mel_optimal[1] = metrics::side_mel(optimal_loads, caps, 1);
 
-      // Negotiated: Nexit with bandwidth oracles (downstream may use the
-      // distance oracle in the diverse-criteria mode, §5.3), upstream may
-      // cheat (§5.4).
+      // Negotiated: Nexit with the configured per-side objectives, built
+      // fresh per failure (oracle incremental state must not leak between
+      // independent negotiations).
       const core::PreferenceConfig pc = config.negotiation.preferences;
-      core::BandwidthOracle bw_a(0, pc, caps);
-      core::BandwidthOracle bw_b(1, pc, caps);
-      core::PiecewiseCostOracle pw_a(0, pc, caps);
-      core::PiecewiseCostOracle pw_b(1, pc, caps);
-      core::DistanceOracle dist_b(1, pc);
-      core::PreferenceOracle& honest_a =
-          config.use_piecewise_cost ? static_cast<core::PreferenceOracle&>(pw_a)
-                                    : bw_a;
-      core::CheatingOracle cheat_a(honest_a, pc.range);
-      core::PreferenceOracle& oracle_a =
-          config.upstream_cheats ? static_cast<core::PreferenceOracle&>(cheat_a)
-                                 : honest_a;
-      core::PreferenceOracle& oracle_b =
-          config.downstream_uses_distance
-              ? static_cast<core::PreferenceOracle&>(dist_b)
-              : (config.use_piecewise_cost
-                     ? static_cast<core::PreferenceOracle&>(pw_b)
-                     : bw_b);
+      const core::OracleRegistry& registry = core::OracleRegistry::global();
+      const core::BuiltOracle oracle_a =
+          registry.build(config.objective[0], {0, pc, &caps});
+      const core::BuiltOracle oracle_b =
+          registry.build(config.objective[1], {1, pc, &caps});
 
       core::NegotiationConfig ncfg = config.negotiation;
       ncfg.seed = streams[pair_index][kEngineSeedStream].next_u64();
-      core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
+      core::NegotiationEngine engine(problem, oracle_a.get(), oracle_b.get(),
+                                     ncfg);
       const core::NegotiationOutcome outcome = engine.run();
       s.flows_moved = outcome.flows_moved;
       s.eval_calls_full = outcome.evaluate_calls_full;
@@ -136,7 +135,9 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
       s.mel_negotiated[0] = metrics::side_mel(negotiated_loads, caps, 0);
       s.mel_negotiated[1] = metrics::side_mel(negotiated_loads, caps, 1);
 
-      if (config.downstream_uses_distance) {
+      // Fig. 9 right-hand series: only meaningful when the downstream's
+      // objective is distance (possibly behind the cheating decorator).
+      if (config.objective[1].name == "distance") {
         double def_km = 0.0, neg_km = 0.0;
         for (std::size_t idx : problem.negotiable) {
           const traffic::Flow& f = tm.flows()[idx];

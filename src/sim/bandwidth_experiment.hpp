@@ -5,6 +5,7 @@
 
 #include "capacity/capacity.hpp"
 #include "core/engine.hpp"
+#include "core/oracle_registry.hpp"
 #include "sim/pair_universe.hpp"
 #include "traffic/traffic.hpp"
 
@@ -25,13 +26,13 @@ struct BandwidthExperimentConfig {
   }();
   traffic::TrafficConfig traffic;       // gravity model by default
   capacity::CapacityConfig capacity;
-  /// Upstream lies about its preferences (§5.4, Fig. 11).
-  bool upstream_cheats = false;
-  /// Downstream optimises distance instead of bandwidth (§5.3, Fig. 9).
-  bool downstream_uses_distance = false;
-  /// Both ISPs use the paper's alternate piecewise-linear link-cost metric
-  /// instead of MEL (the §5.2 "alternate models" sensitivity check).
-  bool use_piecewise_cost = false;
+  /// Per-side objectives (0 = upstream ISP A, 1 = downstream ISP B), built
+  /// through core::OracleRegistry for every failure negotiation. The paper's
+  /// scenarios compose from here: `{"bandwidth", cheat=true}` upstream is
+  /// §5.4 / Fig. 11, `{"distance"}` downstream is §5.3 / Fig. 9, and
+  /// `{"piecewise"}` both sides is the §5.2 alternate-metric check — any
+  /// other combination is equally spellable without touching this file.
+  core::OracleSpec objective[2] = {{"bandwidth", false}, {"bandwidth", false}};
   /// Also compute the Fig. 8 unilateral upstream optimisation series.
   bool include_unilateral = true;
   /// Cap on failures simulated per pair (one sample per failed link).

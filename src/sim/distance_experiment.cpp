@@ -1,8 +1,9 @@
 #include "sim/distance_experiment.hpp"
 
+#include <stdexcept>
+
 #include "core/baselines.hpp"
-#include "core/cheating.hpp"
-#include "core/oracles.hpp"
+#include "core/oracle_registry.hpp"
 #include "metrics/metrics.hpp"
 #include "traffic/traffic.hpp"
 #include "util/thread_pool.hpp"
@@ -43,19 +44,18 @@ routing::Assignment negotiate_in_groups(
     problem.negotiable.assign(order.begin() + static_cast<std::ptrdiff_t>(begin),
                               order.begin() + static_cast<std::ptrdiff_t>(end));
 
-    core::DistanceOracle truthful_a(0, pc), truthful_b(1, pc);
-    core::CheatingOracle cheat_a(truthful_a, pc.range);
-    core::CheatingOracle cheat_b(truthful_b, pc.range);
-    core::PreferenceOracle& oracle_a =
-        cfg.cheater_side == 0 ? static_cast<core::PreferenceOracle&>(cheat_a)
-                              : truthful_a;
-    core::PreferenceOracle& oracle_b =
-        cfg.cheater_side == 1 ? static_cast<core::PreferenceOracle&>(cheat_b)
-                              : truthful_b;
+    // Fresh oracles per group, like the serial code always had: an oracle's
+    // incremental state must not leak between independent negotiations.
+    const core::OracleRegistry& registry = core::OracleRegistry::global();
+    const core::BuiltOracle oracle_a =
+        registry.build(cfg.objective[0], {0, pc, nullptr});
+    const core::BuiltOracle oracle_b =
+        registry.build(cfg.objective[1], {1, pc, nullptr});
 
     core::NegotiationConfig ncfg = cfg.negotiation;
     ncfg.seed = rng.next_u64();
-    core::NegotiationEngine engine(problem, oracle_a, oracle_b, ncfg);
+    core::NegotiationEngine engine(problem, oracle_a.get(), oracle_b.get(),
+                                   ncfg);
     const core::NegotiationOutcome outcome = engine.run();
     sample.flows_moved += outcome.flows_moved;
     sample.eval_calls_full += outcome.evaluate_calls_full;
@@ -75,6 +75,15 @@ routing::Assignment negotiate_in_groups(
 
 std::vector<DistanceSample> run_distance_experiment(
     const DistanceExperimentConfig& config) {
+  // Probe-build both objectives before the worker pool: build() throws
+  // std::invalid_argument for unknown names and for load-dependent oracles
+  // (no capacity model here); a throw inside a pool worker would terminate
+  // the process instead of propagating to the caller.
+  for (const core::OracleSpec& objective : config.objective) {
+    (void)core::OracleRegistry::global().build(
+        objective, {0, config.negotiation.preferences, nullptr});
+  }
+
   // The paper's distance experiment needs pairs with >= 2 interconnections.
   const std::vector<topology::IspPair> pairs =
       build_pair_universe(config.universe, 2);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "core/oracle_registry.hpp"
 #include "sim/pair_universe.hpp"
 
 namespace nexit::sim {
@@ -23,8 +24,11 @@ struct DistanceExperimentConfig {
     c.acceptance = core::AcceptancePolicy::kProtective;
     return c;
   }();
-  /// Side that lies about its preferences (-1 = nobody; 0 = ISP A).
-  int cheater_side = -1;
+  /// Per-side objectives (0 = ISP A, 1 = ISP B), built through
+  /// core::OracleRegistry for every group negotiation. The distance
+  /// experiment computes no capacity model, so only capacity-free oracles
+  /// are usable here; `cheat` on a side reproduces §5.4 / Fig. 10.
+  core::OracleSpec objective[2] = {{"distance", false}, {"distance", false}};
   /// Also run the Fig. 5 baselines (flow-Pareto / flow-both-better).
   bool run_flow_pair_baselines = true;
   /// Negotiate in `groups` random partitions instead of the whole set

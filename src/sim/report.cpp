@@ -1,8 +1,17 @@
 #include "sim/report.hpp"
 
 #include <iostream>
+#include <sstream>
 
 namespace nexit::sim {
+
+std::string universe_summary(const UniverseConfig& universe) {
+  std::ostringstream os;
+  os << universe.isp_count << " synthetic ISPs, seed " << universe.seed
+     << ", <= " << universe.max_pairs << " pairs, PoPs "
+     << universe.generator.min_pops << "-" << universe.generator.max_pops;
+  return os.str();
+}
 
 namespace {
 const std::vector<double> kPercentiles{5,  10, 20, 25, 30, 40, 50,

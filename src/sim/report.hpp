@@ -3,9 +3,16 @@
 #include <string>
 #include <vector>
 
+#include "sim/pair_universe.hpp"
 #include "util/stats.hpp"
 
 namespace nexit::sim {
+
+/// One-line human summary of a universe config ("65 synthetic ISPs, seed
+/// 42, <= 120 pairs, PoPs 6-20") — the single spelling shared by the
+/// scenario headers (via ExperimentSpec::universe_summary) and the
+/// runtime/micro benches, so the two cannot drift apart.
+std::string universe_summary(const UniverseConfig& universe);
 
 /// Prints a paper-figure-shaped table: one row per percentile of the CDF,
 /// one column per named series, plus a short header. The bench binaries use

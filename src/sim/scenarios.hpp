@@ -1,0 +1,81 @@
+#pragma once
+
+// The scenario-preset registry and the shared parse/run/report pipeline
+// behind every figure/ablation binary and the `nexit_run` driver. A
+// ScenarioPreset is a named spec transform (its per-figure defaults) plus
+// the analysis that turns engine samples into the printed figure, the
+// paper checks, and the JSON record. The 16 legacy binaries are thin shims
+// over scenario_shim_main(); `nexit_run --scenario=<name>` dispatches to
+// the identical code path, which is what keeps their outputs byte-identical
+// (the CI migration guard diffs them every run).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/spec.hpp"
+#include "util/digest.hpp"
+#include "util/json_report.hpp"
+
+namespace nexit::sim {
+
+/// What a preset's run function gets: the fully merged+validated spec, the
+/// JSON record (spec section already filled), and the outcome digest it
+/// should fold its deterministic sample data into (helpers below). The
+/// pipeline prints the digest and writes the record after run returns.
+struct ScenarioContext {
+  const ExperimentSpec& spec;
+  util::JsonReport& record;
+  std::uint64_t digest = util::kFnvOffsetBasis;
+
+  void mix(std::uint64_t v) { digest = util::fnv1a_mix(digest, v); }
+  void mix_double(double v) { mix(util::double_bits(v)); }
+  void mix(const std::vector<DistanceSample>& samples);
+  void mix(const std::vector<BandwidthSample>& samples);
+};
+
+struct ScenarioPreset {
+  const char* name;           // "fig9", "abl_models", "custom", ...
+  const char* legacy_binary;  // pre-redesign binary name; "-" if none
+  const char* description;    // one line for --list-scenarios
+  /// Figure-specific spec defaults, applied before --spec/flag overrides.
+  void (*tune)(ExperimentSpec&);
+  /// Runs the engines and reports; returns the process exit code.
+  int (*run)(ScenarioContext&);
+  /// Spec keys this preset's run function controls itself (sweep axes, the
+  /// fixed worked-example parameters): "" = none, a comma-separated list,
+  /// or "!k1,k2" = every key EXCEPT the listed ones. An explicit override
+  /// of an ignored key to a value other than the preset's own exits 2 —
+  /// the legacy binaries rejected exactly these flags, and a knob that
+  /// silently vanishes is the misconfiguration mode this API must not
+  /// reintroduce.
+  const char* ignored_keys = "";
+};
+
+/// All registered presets: fig4..fig11, table3, the abl_* ablations, and
+/// "custom" (a generic runner for arbitrary composed specs).
+const std::vector<ScenarioPreset>& scenario_registry();
+const ScenarioPreset* find_scenario(const std::string& name);
+std::vector<std::string> scenario_names();
+
+/// `--list-scenarios` bodies: a human table, or name/legacy/description TSV
+/// for scripts (the CI migration guard iterates the tsv form).
+void print_scenario_list(std::ostream& os);
+void print_scenario_tsv(std::ostream& os);
+
+/// The shared pipeline: preset defaults -> optional --spec file -> flag
+/// overrides -> reject_unknown -> validate -> record spec -> run -> digest
+/// print + JSON write. Both the driver and every legacy shim end up here.
+int run_scenario(const ScenarioPreset& preset, const util::Flags& flags);
+
+/// main() body of a legacy figure binary: parse argv, run `name`.
+int scenario_shim_main(const char* name, int argc, char** argv);
+
+/// FNV digests over the deterministic per-sample fields; equal digests
+/// across --threads / --incremental / preset-vs-legacy runs demonstrate
+/// bit-identical experiments.
+std::uint64_t digest_samples(const std::vector<DistanceSample>& samples);
+std::uint64_t digest_samples(const std::vector<BandwidthSample>& samples);
+
+}  // namespace nexit::sim

@@ -1,0 +1,372 @@
+#include "sim/spec.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+
+#include "sim/report.hpp"
+
+namespace nexit::sim {
+
+namespace {
+
+// --- enum <-> string tables ---------------------------------------------
+// One table per enum; merge_from_flags feeds the names to
+// Flags::get_choice, so an out-of-set value dies listing exactly these.
+
+template <typename E>
+struct Choice {
+  E value;
+  const char* name;
+};
+
+constexpr Choice<ExperimentKind> kExperiments[] = {
+    {ExperimentKind::kDistance, "distance"},
+    {ExperimentKind::kBandwidth, "bandwidth"},
+};
+constexpr Choice<core::TurnPolicy> kTurns[] = {
+    {core::TurnPolicy::kAlternate, "alternate"},
+    {core::TurnPolicy::kLowerGain, "lower-gain"},
+    {core::TurnPolicy::kCoinToss, "coin-toss"},
+};
+constexpr Choice<core::ProposalPolicy> kProposals[] = {
+    {core::ProposalPolicy::kMaxCombinedGain, "max-combined"},
+    {core::ProposalPolicy::kBestLocalMinImpact, "best-local"},
+};
+constexpr Choice<core::AcceptancePolicy> kAcceptances[] = {
+    {core::AcceptancePolicy::kProtective, "protective"},
+    {core::AcceptancePolicy::kAlwaysAccept, "always-accept"},
+    {core::AcceptancePolicy::kVetoOwnLoss, "veto-own-loss"},
+};
+constexpr Choice<core::TerminationPolicy> kTerminations[] = {
+    {core::TerminationPolicy::kEarly, "early"},
+    {core::TerminationPolicy::kFull, "full"},
+    {core::TerminationPolicy::kNegotiateAll, "negotiate-all"},
+};
+constexpr Choice<core::TieBreak> kTieBreaks[] = {
+    {core::TieBreak::kRandom, "random"},
+    {core::TieBreak::kDeterministic, "deterministic"},
+};
+constexpr Choice<traffic::WorkloadModel> kWorkloads[] = {
+    {traffic::WorkloadModel::kGravity, "gravity"},
+    {traffic::WorkloadModel::kIdentical, "identical"},
+    {traffic::WorkloadModel::kUniformRandom, "uniform"},
+};
+constexpr Choice<capacity::UnusedLinkRule> kUnusedRules[] = {
+    {capacity::UnusedLinkRule::kMedian, "median"},
+    {capacity::UnusedLinkRule::kMean, "mean"},
+    {capacity::UnusedLinkRule::kMax, "max"},
+};
+
+template <typename E, std::size_t N>
+std::string name_of(const Choice<E> (&table)[N], E value) {
+  for (const auto& c : table)
+    if (c.value == value) return c.name;
+  assert(false && "enum value missing from its choice table");
+  return table[0].name;
+}
+
+template <typename E, std::size_t N>
+std::vector<std::string> names_of(const Choice<E> (&table)[N]) {
+  std::vector<std::string> out;
+  for (const auto& c : table) out.emplace_back(c.name);
+  return out;
+}
+
+/// Reads one choice key: current enum value is the fallback, the table is
+/// the closed set. get_choice guarantees the returned string is in-table.
+template <typename E, std::size_t N>
+E merge_choice(const util::Flags& flags, const std::string& key,
+               const Choice<E> (&table)[N], E current) {
+  const std::string picked =
+      flags.get_choice(key, names_of(table), name_of(table, current));
+  for (const auto& c : table)
+    if (picked == c.name) return c.value;
+  return current;  // --help run with a malformed value: keep the fallback
+}
+
+std::size_t merge_count(const util::Flags& flags, const std::string& key,
+                        std::size_t current, std::size_t max_value) {
+  return util::get_count(flags, key, current, max_value);
+}
+
+}  // namespace
+
+std::string to_string(ExperimentKind kind) {
+  return name_of(kExperiments, kind);
+}
+
+void ExperimentSpec::merge_from_flags(const util::Flags& flags) {
+  // Remember which keys this source actually set: validate() rejects ones
+  // the chosen experiment kind would silently ignore.
+  for (const auto& [key, value] : to_key_values())
+    if (flags.has(key)) overridden.insert(key);
+
+  experiment = merge_choice(flags, "experiment", kExperiments, experiment);
+
+  isps = merge_count(flags, "isps", isps, 1u << 20);
+  seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(seed)));
+  pairs = merge_count(flags, "pairs", pairs, 1u << 20);
+  pop_min = merge_count(flags, "pop-min", pop_min, 10000);
+  pop_max = merge_count(flags, "pop-max", pop_max, 10000);
+
+  objective[0] = core::OracleSpec::parse(
+      flags.get_string("oracle-a", objective[0].to_string()));
+  objective[1] = core::OracleSpec::parse(
+      flags.get_string("oracle-b", objective[1].to_string()));
+
+  pref_range = static_cast<int>(flags.get_int("pref-range", pref_range));
+  turn = merge_choice(flags, "turn", kTurns, turn);
+  proposal = merge_choice(flags, "proposal", kProposals, proposal);
+  acceptance = merge_choice(flags, "acceptance", kAcceptances, acceptance);
+  termination = merge_choice(flags, "termination", kTerminations, termination);
+  tie_break = merge_choice(flags, "tie-break", kTieBreaks, tie_break);
+  reassign = flags.get_double("reassign", reassign);
+  rollback = flags.get_bool("rollback", rollback);
+  incremental = flags.get_bool("incremental", incremental);
+  verify_incremental = static_cast<int>(
+      flags.get_int("verify-incremental", verify_incremental));
+
+  traffic_model = merge_choice(flags, "traffic", kWorkloads, traffic_model);
+  capacity_pow2 = flags.get_bool("capacity-pow2", capacity_pow2);
+  capacity_unused =
+      merge_choice(flags, "capacity-unused", kUnusedRules, capacity_unused);
+  max_failures = merge_count(flags, "max-failures", max_failures, 10000);
+
+  flow_baselines = flags.get_bool("flow-baselines", flow_baselines);
+  unilateral = flags.get_bool("unilateral", unilateral);
+  groups = merge_count(flags, "groups", groups, 1u << 20);
+  threads = merge_count(flags, "threads", threads, 1024);
+}
+
+void ExperimentSpec::merge_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: --spec: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<std::string> assignments;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.find('=') == std::string::npos) {
+      std::cerr << "error: spec file " << path << " line " << line_no
+                << ": expected key=value, got \"" << line << "\"\n";
+      std::exit(2);
+    }
+    assignments.push_back(line);
+  }
+
+  // The file reuses the whole Flags machinery: malformed values die through
+  // the same get_* diagnostics as the command line — the error context makes
+  // them name this file — and after the merge has queried every key the
+  // spec understands, the leftovers are exactly the unknown keys, rejected
+  // the way util::reject_unknown rejects flags.
+  const util::FlagErrorContext context("spec file " + path);
+  const util::Flags file_flags(assignments);
+  merge_from_flags(file_flags);
+  const std::vector<std::string> unknown = file_flags.unknown();
+  if (!unknown.empty()) {
+    std::cerr << "error: spec file " << path << ": unknown key"
+              << (unknown.size() > 1 ? "s" : "") << ":";
+    for (const std::string& key : unknown) std::cerr << " " << key;
+    std::cerr << "\nvalid keys are:";
+    for (const std::string& key : file_flags.queried())
+      std::cerr << " " << key;
+    std::cerr << "\n";
+    std::exit(2);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> ExperimentSpec::to_key_values()
+    const {
+  const auto fmt_double = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  std::vector<std::pair<std::string, std::string>> kv;
+  kv.emplace_back("experiment", to_string(experiment));
+  kv.emplace_back("isps", std::to_string(isps));
+  // Serialized via the signed spelling: the parser is get_int (int64), so
+  // a seed with the top bit set must round-trip as its two's-complement
+  // twin ("-1") rather than a uint64 literal get_int cannot read back.
+  kv.emplace_back("seed", std::to_string(static_cast<std::int64_t>(seed)));
+  kv.emplace_back("pairs", std::to_string(pairs));
+  kv.emplace_back("pop-min", std::to_string(pop_min));
+  kv.emplace_back("pop-max", std::to_string(pop_max));
+  kv.emplace_back("oracle-a", objective[0].to_string());
+  kv.emplace_back("oracle-b", objective[1].to_string());
+  kv.emplace_back("pref-range", std::to_string(pref_range));
+  kv.emplace_back("turn", name_of(kTurns, turn));
+  kv.emplace_back("proposal", name_of(kProposals, proposal));
+  kv.emplace_back("acceptance", name_of(kAcceptances, acceptance));
+  kv.emplace_back("termination", name_of(kTerminations, termination));
+  kv.emplace_back("tie-break", name_of(kTieBreaks, tie_break));
+  kv.emplace_back("reassign", fmt_double(reassign));
+  kv.emplace_back("rollback", rollback ? "true" : "false");
+  kv.emplace_back("incremental", incremental ? "true" : "false");
+  kv.emplace_back("verify-incremental", std::to_string(verify_incremental));
+  kv.emplace_back("traffic", name_of(kWorkloads, traffic_model));
+  kv.emplace_back("capacity-pow2", capacity_pow2 ? "true" : "false");
+  kv.emplace_back("capacity-unused", name_of(kUnusedRules, capacity_unused));
+  kv.emplace_back("max-failures", std::to_string(max_failures));
+  kv.emplace_back("flow-baselines", flow_baselines ? "true" : "false");
+  kv.emplace_back("unilateral", unilateral ? "true" : "false");
+  kv.emplace_back("groups", std::to_string(groups));
+  kv.emplace_back("threads", std::to_string(threads));
+  return kv;
+}
+
+std::string ExperimentSpec::value_of(const std::string& key) const {
+  for (const auto& [k, v] : to_key_values())
+    if (k == key) return v;
+  return {};
+}
+
+std::string ExperimentSpec::to_text() const {
+  std::ostringstream os;
+  for (const auto& [key, value] : to_key_values())
+    os << key << "=" << value << "\n";
+  return os.str();
+}
+
+core::OracleSpec ExperimentSpec::resolved_objective(int side) const {
+  core::OracleSpec resolved = objective[side];
+  if (resolved.name == "default") {
+    resolved.name =
+        experiment == ExperimentKind::kDistance ? "distance" : "bandwidth";
+  }
+  return resolved;
+}
+
+bool ExperimentSpec::validate(std::string* error) const {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  const core::OracleRegistry& registry = core::OracleRegistry::global();
+  for (int side = 0; side < 2; ++side) {
+    const core::OracleSpec resolved = resolved_objective(side);
+    const core::OracleRegistry::Entry* entry = registry.find(resolved.name);
+    const std::string key = side == 0 ? "oracle-a" : "oracle-b";
+    if (entry == nullptr) {
+      std::string msg = key + ": unknown oracle '" + resolved.name +
+                        "'; valid names (optionally behind \"cheat:\"):";
+      for (const std::string& name : registry.names()) msg += " " + name;
+      msg += " default";
+      return fail(msg);
+    }
+    if (experiment == ExperimentKind::kDistance && entry->needs_capacities) {
+      return fail(key + ": oracle '" + resolved.name +
+                  "' needs link capacities, which only experiment=bandwidth "
+                  "computes");
+    }
+  }
+  if (groups == 0) return fail("groups: must be >= 1");
+  if (pop_min > pop_max) return fail("pop-min: must be <= pop-max");
+  if (pref_range < 1) return fail("pref-range: must be >= 1");
+  if (isps < 2) return fail("isps: need at least 2 ISPs to form a pair");
+  if (pairs == 0) return fail("pairs: must be >= 1");
+
+  // Keys only one experiment kind consumes: accepting an explicit
+  // non-default value the run would ignore is the same silent-
+  // misconfiguration failure mode util::reject_unknown exists to prevent.
+  // Explicit *default* values stay legal so a fully serialized spec (which
+  // spells out every key) remains loadable as a --spec file — a validated
+  // spec never carries non-default inert keys, so the round trip is safe.
+  const bool distance = experiment == ExperimentKind::kDistance;
+  const char* const bandwidth_only[] = {"traffic", "capacity-pow2",
+                                        "capacity-unused", "max-failures",
+                                        "unilateral"};
+  const char* const distance_only[] = {"flow-baselines", "groups"};
+  const ExperimentSpec defaults;
+  const auto* inert_begin = distance ? bandwidth_only : distance_only;
+  const auto* inert_end =
+      distance ? bandwidth_only + std::size(bandwidth_only)
+               : distance_only + std::size(distance_only);
+  for (const auto* key = inert_begin; key != inert_end; ++key) {
+    if (overridden.count(*key) > 0 && value_of(*key) != defaults.value_of(*key)) {
+      return fail(std::string(*key) + ": only meaningful for experiment=" +
+                  (distance ? "bandwidth" : "distance") +
+                  " — this run would silently ignore it");
+    }
+  }
+  return true;
+}
+
+UniverseConfig ExperimentSpec::universe() const {
+  UniverseConfig u;
+  u.isp_count = isps;
+  u.seed = seed;
+  u.max_pairs = pairs;
+  u.generator.min_pops = pop_min;
+  u.generator.max_pops = pop_max;
+  return u;
+}
+
+std::string ExperimentSpec::universe_summary() const {
+  return sim::universe_summary(universe());
+}
+
+namespace {
+
+core::NegotiationConfig negotiation_of(const ExperimentSpec& spec) {
+  core::NegotiationConfig c;
+  c.preferences.range = spec.pref_range;
+  c.turn = spec.turn;
+  c.proposal = spec.proposal;
+  c.acceptance = spec.acceptance;
+  c.termination = spec.termination;
+  c.tie_break = spec.tie_break;
+  c.reassign_traffic_fraction = spec.reassign;
+  c.settlement_rollback = spec.rollback;
+  c.incremental_evaluation = spec.incremental;
+  c.verify_incremental_every = spec.verify_incremental;
+  return c;
+}
+
+}  // namespace
+
+DistanceExperimentConfig ExperimentSpec::to_distance_config() const {
+  assert(experiment == ExperimentKind::kDistance);
+  DistanceExperimentConfig cfg;
+  cfg.universe = universe();
+  cfg.negotiation = negotiation_of(*this);
+  cfg.objective[0] = resolved_objective(0);
+  cfg.objective[1] = resolved_objective(1);
+  cfg.run_flow_pair_baselines = flow_baselines;
+  cfg.groups = groups;
+  cfg.threads = threads;
+  return cfg;
+}
+
+BandwidthExperimentConfig ExperimentSpec::to_bandwidth_config() const {
+  assert(experiment == ExperimentKind::kBandwidth);
+  BandwidthExperimentConfig cfg;
+  cfg.universe = universe();
+  cfg.negotiation = negotiation_of(*this);
+  cfg.objective[0] = resolved_objective(0);
+  cfg.objective[1] = resolved_objective(1);
+  cfg.traffic.model = traffic_model;
+  cfg.capacity.round_up_power_of_two = capacity_pow2;
+  cfg.capacity.unused_rule = capacity_unused;
+  cfg.include_unilateral = unilateral;
+  cfg.max_failures_per_pair = max_failures;
+  cfg.threads = threads;
+  return cfg;
+}
+
+}  // namespace nexit::sim

@@ -1,0 +1,139 @@
+#pragma once
+
+// The declarative scenario API. An ExperimentSpec is a flat, fully
+// serializable description of one experiment run: which engine (distance or
+// bandwidth), the universe, each side's objective (an OracleRegistry name,
+// optionally behind the cheating decorator), the negotiation policies, the
+// traffic/capacity/failure models, grouping, and threading. Specs layer:
+//
+//   struct defaults  ->  ScenarioPreset tune()  ->  --spec=<file>  ->  flags
+//
+// Each later layer only overrides the keys it mentions (every merge reads a
+// key with the current value as fallback). A spec file is `key=value` lines
+// (`#` comments); the keys are exactly the command-line flag names, parsed
+// through the same util::Flags machinery, so malformed values and unknown
+// keys die with the same exit-2 diagnostics as a typo'd flag. Every spec
+// serializes back to the full key=value list — the JSON record embeds it,
+// and parsing that list reproduces the spec bit-for-bit (round-trippable).
+
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/oracle_registry.hpp"
+#include "sim/bandwidth_experiment.hpp"
+#include "sim/distance_experiment.hpp"
+#include "util/flags.hpp"
+
+namespace nexit::sim {
+
+/// Which experiment engine a spec drives.
+enum class ExperimentKind { kDistance, kBandwidth };
+
+struct ExperimentSpec {
+  // --- engine selection -----------------------------------------------
+  ExperimentKind experiment = ExperimentKind::kDistance;
+
+  // --- universe ---------------------------------------------------------
+  std::size_t isps = 65;
+  std::uint64_t seed = 42;
+  std::size_t pairs = 120;
+  std::size_t pop_min = 6;
+  std::size_t pop_max = 20;
+
+  // --- per-side objectives ---------------------------------------------
+  /// "default" resolves per experiment kind (distance -> "distance",
+  /// bandwidth -> "bandwidth") at config-build time; any OracleRegistry
+  /// name or "cheat:<name>" is valid.
+  core::OracleSpec objective[2] = {{"default", false}, {"default", false}};
+
+  // --- negotiation policies (paper §4) ---------------------------------
+  int pref_range = 10;
+  core::TurnPolicy turn = core::TurnPolicy::kAlternate;
+  core::ProposalPolicy proposal = core::ProposalPolicy::kMaxCombinedGain;
+  core::AcceptancePolicy acceptance = core::AcceptancePolicy::kProtective;
+  core::TerminationPolicy termination = core::TerminationPolicy::kEarly;
+  core::TieBreak tie_break = core::TieBreak::kRandom;
+  /// Reassignment quantum (paper: 0.05); only load-dependent oracles
+  /// honour it, so the distance figures are unaffected by the default.
+  double reassign = 0.05;
+  bool rollback = true;
+  bool incremental = true;
+  int verify_incremental = 0;
+
+  // --- workload / capacity / failure models ----------------------------
+  traffic::WorkloadModel traffic_model = traffic::WorkloadModel::kGravity;
+  bool capacity_pow2 = false;
+  capacity::UnusedLinkRule capacity_unused = capacity::UnusedLinkRule::kMedian;
+  std::size_t max_failures = 4;
+
+  // --- extra series / grouping / execution ------------------------------
+  bool flow_baselines = false;  // Fig. 5 flow-pair strawmen (distance)
+  bool unilateral = false;      // Fig. 8 upstream-only LP series (bandwidth)
+  std::size_t groups = 1;
+  std::size_t threads = 1;
+
+  /// Bookkeeping, not state: the keys an explicit source (flags or a spec
+  /// file) set, as opposed to defaults and preset tunes. validate() uses it
+  /// to reject a key the chosen experiment kind would silently ignore —
+  /// `--unilateral=true` on a distance scenario must error like any other
+  /// misconfiguration, not record itself as if it took effect. Excluded
+  /// from comparison (operator== compares the serialized key set).
+  std::set<std::string> overridden;
+
+  /// Overlays every key present in `flags` onto this spec (absent keys keep
+  /// their current values — the accessor fallbacks are the spec itself).
+  /// Malformed values and out-of-set choices exit 2 via util::Flags.
+  void merge_from_flags(const util::Flags& flags);
+
+  /// Loads a `key=value` spec file on top of this spec. Unknown keys, keys
+  /// without '=', malformed values, and unreadable files exit 2 with a
+  /// diagnostic naming the file — the same contract util::reject_unknown
+  /// gives the command line.
+  void merge_from_file(const std::string& path);
+
+  /// The full spec as (key, value) pairs in canonical order; parsing these
+  /// back (merge_from_flags over a kv-Flags) reproduces the spec exactly.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>>
+  to_key_values() const;
+  /// to_key_values() as "key=value\n" lines — a valid spec file.
+  [[nodiscard]] std::string to_text() const;
+  /// The serialized value of one key ("" for an unknown key).
+  [[nodiscard]] std::string value_of(const std::string& key) const;
+
+  /// Semantic checks beyond syntax: oracle names must be registered (or
+  /// "default"), the distance engine only takes capacity-free oracles, the
+  /// universe must be able to yield pairs, and explicitly overridden keys
+  /// must be meaningful for the chosen experiment kind. Returns false and
+  /// sets *error on failure.
+  [[nodiscard]] bool validate(std::string* error) const;
+
+  /// The objective with "default" resolved for this spec's experiment kind.
+  [[nodiscard]] core::OracleSpec resolved_objective(int side) const;
+
+  /// Engine configs. Both require validate() to have passed; they assert
+  /// the experiment kind matches.
+  [[nodiscard]] DistanceExperimentConfig to_distance_config() const;
+  [[nodiscard]] BandwidthExperimentConfig to_bandwidth_config() const;
+
+  /// One-line human summary of the universe ("65 synthetic ISPs, seed 42,
+  /// <= 120 pairs, PoPs 6-20") for bench headers.
+  [[nodiscard]] std::string universe_summary() const;
+
+  [[nodiscard]] UniverseConfig universe() const;
+
+  /// Two specs are equal when they describe the same run — i.e. their
+  /// serialized key=value lists match; the `overridden` bookkeeping does
+  /// not participate (a parsed spec has every key marked, its source may
+  /// have none).
+  friend bool operator==(const ExperimentSpec& a, const ExperimentSpec& b) {
+    return a.to_key_values() == b.to_key_values();
+  }
+};
+
+[[nodiscard]] std::string to_string(ExperimentKind kind);
+
+}  // namespace nexit::sim

@@ -10,6 +10,12 @@ namespace nexit::util {
 
 namespace {
 
+thread_local std::string g_flag_error_context;
+
+std::string error_context_suffix() {
+  return g_flag_error_context.empty() ? "" : " (in " + g_flag_error_context + ")";
+}
+
 /// Aborts with exit 2 naming the flag and the malformed value. Flag parsing
 /// is a program-startup concern for CLI binaries, so hard-exiting here (like
 /// reject_unknown_flags does) beats silently running with value 0.
@@ -17,11 +23,28 @@ namespace {
                                 const std::string& value,
                                 const char* expected) {
   std::cerr << "error: flag --" << name << " expects " << expected
-            << ", got \"" << value << "\"\n";
+            << ", got \"" << value << "\"" << error_context_suffix() << "\n";
   std::exit(2);
 }
 
 }  // namespace
+
+FlagErrorContext::FlagErrorContext(std::string what) {
+  g_flag_error_context = std::move(what);
+}
+
+FlagErrorContext::~FlagErrorContext() { g_flag_error_context.clear(); }
+
+Flags::Flags(const std::vector<std::string>& assignments) {
+  for (const std::string& a : assignments) {
+    const auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      values_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else {
+      values_[a] = "true";
+    }
+  }
+}
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -50,6 +73,23 @@ std::string Flags::get_string(const std::string& name,
   queried_.insert(name);
   const auto it = values_.find(name);
   return it == values_.end() ? fallback : it->second;
+}
+
+std::string Flags::get_choice(const std::string& name,
+                              const std::vector<std::string>& allowed,
+                              const std::string& fallback) const {
+  queried_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  for (const std::string& choice : allowed)
+    if (it->second == choice) return it->second;
+  if (help_requested()) return fallback;
+  std::cerr << "error: flag --" << name << " expects one of {";
+  for (std::size_t i = 0; i < allowed.size(); ++i)
+    std::cerr << (i == 0 ? "" : ", ") << allowed[i];
+  std::cerr << "}, got \"" << it->second << "\"" << error_context_suffix()
+            << "\n";
+  std::exit(2);
 }
 
 std::int64_t Flags::get_int(const std::string& name, std::int64_t fallback) const {
@@ -113,7 +153,7 @@ std::size_t get_count(const Flags& flags, const std::string& name,
   if (v < 0 || static_cast<std::uint64_t>(v) > max_value) {
     if (flags.help_requested()) return fallback;
     std::cerr << "error: --" << name << " expects an integer in [0, "
-              << max_value << "], got " << v << "\n";
+              << max_value << "], got " << v << error_context_suffix() << "\n";
     std::exit(2);
   }
   return static_cast<std::size_t>(v);

@@ -22,6 +22,13 @@ class Flags {
  public:
   Flags(int argc, char** argv);
 
+  /// Builds from bare "name=value" assignments (no "--" prefix) — the spec
+  /// files of sim::ExperimentSpec reuse the whole Flags machinery this way,
+  /// so a spec file enjoys the same malformed-value and unknown-key
+  /// rejection as the command line. A line without '=' sets "true", like a
+  /// bare --flag.
+  explicit Flags(const std::vector<std::string>& assignments);
+
   [[nodiscard]] bool has(const std::string& name) const;
 
   /// True when --help is on the command line. While a help run is in
@@ -30,6 +37,13 @@ class Flags {
   /// reject_unknown() then prints the flag list and exits 0.
   [[nodiscard]] bool help_requested() const { return values_.count("help") > 0; }
   [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  /// String flag restricted to a closed set: a present-but-unlisted value
+  /// exits 2 listing the valid choices (fallback during a --help run, like
+  /// every other accessor). `fallback` need not be a member of `allowed` —
+  /// the scenario driver uses an out-of-set sentinel to detect "not given".
+  [[nodiscard]] std::string get_choice(const std::string& name,
+                                       const std::vector<std::string>& allowed,
                                        const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
@@ -63,6 +77,20 @@ class Flags {
 /// text stays reachable. Shared by the bench harness and the examples.
 std::size_t get_count(const Flags& flags, const std::string& name,
                       std::size_t fallback, std::size_t max_value);
+
+/// RAII marker for where flag values are coming from. While one is alive,
+/// every fatal flag diagnostic (malformed value, out-of-set choice,
+/// out-of-range count) appends " (in <what>)" — so a bad value inside a
+/// `--spec=<file>` names the file instead of pointing at a command-line
+/// flag that was never typed. Not nestable (last one wins) and
+/// thread-local, which matches its only use: program-startup parsing.
+class FlagErrorContext {
+ public:
+  explicit FlagErrorContext(std::string what);
+  ~FlagErrorContext();
+  FlagErrorContext(const FlagErrorContext&) = delete;
+  FlagErrorContext& operator=(const FlagErrorContext&) = delete;
+};
 
 /// Finishes flag handling; call once, after every get_*/has call (only then
 /// is the full set of understood flags known). Two behaviours:

@@ -1,0 +1,113 @@
+#include "util/json_report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace nexit::util {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+/// JSON has no inf/nan literals: %.17g would emit `inf`, producing a record
+/// no parser accepts. A non-finite measurement becomes `null` — present in
+/// the record, visibly not-a-number.
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void emit(std::ofstream& out,
+          const std::vector<std::pair<std::string, std::string>>& entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << quote(entries[i].first) << ": "
+        << entries[i].second;
+  }
+  if (!entries.empty()) out << "\n  ";
+}
+
+}  // namespace
+
+JsonReport::JsonReport(const Flags& flags, std::string binary_name)
+    : path_(flags.get_string("json", "")), binary_(std::move(binary_name)) {}
+
+JsonReport::JsonReport(std::string path, std::string binary_name)
+    : path_(std::move(path)), binary_(std::move(binary_name)) {}
+
+void JsonReport::spec_entry(const std::string& key, const std::string& value) {
+  spec_.emplace_back(key, quote(value));
+}
+
+void JsonReport::config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, quote(value));
+}
+void JsonReport::config(const std::string& key, std::int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+void JsonReport::config(const std::string& key, double value) {
+  config_.emplace_back(key, number(value));
+}
+
+void JsonReport::metric(const std::string& name, double value) {
+  metrics_.emplace_back(name, number(value));
+}
+void JsonReport::metric(const std::string& name, std::int64_t value) {
+  metrics_.emplace_back(name, std::to_string(value));
+}
+void JsonReport::metric(const std::string& name, const std::string& value) {
+  metrics_.emplace_back(name, quote(value));
+}
+
+void JsonReport::metric_cdf(const std::string& name, const Cdf& cdf) {
+  if (cdf.empty()) return;
+  metric(name + ".n", static_cast<std::int64_t>(cdf.size()));
+  metric(name + ".min", cdf.min());
+  metric(name + ".p25", cdf.value_at(0.25));
+  metric(name + ".p50", cdf.value_at(0.5));
+  metric(name + ".p75", cdf.value_at(0.75));
+  metric(name + ".max", cdf.max());
+}
+
+void JsonReport::write() const {
+  if (path_.empty()) return;
+  std::ofstream out(path_);
+  out << "{\n  \"binary\": " << quote(binary_) << ",\n";
+  if (!spec_.empty()) {
+    out << "  \"spec\": {";
+    emit(out, spec_);
+    out << "},\n";
+  }
+  out << "  \"config\": {";
+  emit(out, config_);
+  out << "},\n  \"metrics\": {";
+  emit(out, metrics_);
+  out << "}\n}\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: --json: cannot write " << path_ << "\n";
+    std::exit(2);
+  }
+  std::cout << "json record written to " << path_ << "\n";
+}
+
+}  // namespace nexit::util

@@ -1,0 +1,61 @@
+#pragma once
+
+// Machine-readable run records, shared by the scenario driver, the legacy
+// bench shims, the runtime/micro benches, and the tests (promoted here from
+// bench/bench_common.hpp so there is exactly one JSON emitter).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace nexit::util {
+
+/// Machine-readable run record for perf trajectories: a binary that is
+/// handed `--json=<path>` writes `{binary, spec: {...}, config: {...},
+/// metrics: {...}}` there, so successive runs (BENCH_*.json) can be diffed
+/// and plotted across PRs. The `spec` section is the serialized
+/// sim::ExperimentSpec (round-trippable key=value strings) and is omitted
+/// when empty; `config` holds ad-hoc knobs of non-scenario benches.
+///
+/// Construct it right after parsing (the Flags constructor reads --json,
+/// keeping reject_unknown happy), record entries as they are computed, and
+/// call write() last. Everything is a no-op without a path.
+class JsonReport {
+ public:
+  JsonReport(const Flags& flags, std::string binary_name);
+  /// Direct-path form for tests and programmatic callers (no --json flag).
+  JsonReport(std::string path, std::string binary_name);
+
+  /// One serialized spec key=value pair; values are recorded verbatim as
+  /// JSON strings so the record parses back into the exact same spec.
+  void spec_entry(const std::string& key, const std::string& value);
+
+  void config(const std::string& key, const std::string& value);
+  void config(const std::string& key, std::int64_t value);
+  void config(const std::string& key, double value);
+
+  void metric(const std::string& name, double value);
+  void metric(const std::string& name, std::int64_t value);
+  void metric(const std::string& name, const std::string& value);
+  /// Five-point summary of a CDF under "<name>.{n,min,p25,p50,p75,max}".
+  void metric_cdf(const std::string& name, const Cdf& cdf);
+
+  /// Writes the file if a path was given; exits 2 on I/O failure (a
+  /// requested-but-unwritable record should not fail silently).
+  void write() const;
+
+ private:
+  using Entries = std::vector<std::pair<std::string, std::string>>;
+
+  std::string path_;
+  std::string binary_;
+  Entries spec_;
+  Entries config_;
+  Entries metrics_;
+};
+
+}  // namespace nexit::util

@@ -88,7 +88,7 @@ TEST(DistanceExperiment, CheatingReducesBothGains) {
   DistanceExperimentConfig honest;
   honest.universe = small_universe(77);
   DistanceExperimentConfig cheat = honest;
-  cheat.cheater_side = 0;
+  cheat.objective[0].cheat = true;
   auto hs = run_distance_experiment(honest);
   auto cs = run_distance_experiment(cheat);
   ASSERT_EQ(hs.size(), cs.size());
@@ -175,7 +175,7 @@ TEST(BandwidthExperiment, DiverseCriteriaFillsDistanceGain) {
   BandwidthExperimentConfig cfg;
   cfg.universe = small_universe(55);
   cfg.universe.max_pairs = 4;
-  cfg.downstream_uses_distance = true;
+  cfg.objective[1] = {"distance", false};
   cfg.include_unilateral = false;
   cfg.negotiation.reassign_traffic_fraction = 0.05;
   auto samples = run_bandwidth_experiment(cfg);

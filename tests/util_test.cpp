@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <set>
+#include <sstream>
 #include <vector>
 
+#include "util/digest.hpp"
 #include "util/flags.hpp"
 #include "util/ids.hpp"
+#include "util/json_report.hpp"
 #include "util/result.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -265,6 +271,107 @@ TEST(Flags, QueryingAbsentNamesLeavesNoUnknowns) {
   Flags f(1, const_cast<char**>(argv));
   EXPECT_EQ(f.get_int("missing", 3), 3);
   EXPECT_TRUE(f.unknown().empty());
+}
+
+TEST(Flags, KvConstructorMirrorsTheCommandLineForm) {
+  Flags f(std::vector<std::string>{"seed=7", "verbose", "name=a=b"});
+  EXPECT_EQ(f.get_int("seed", 0), 7);
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  // Everything after the first '=' is the value, like --name=a=b.
+  EXPECT_EQ(f.get_string("name", ""), "a=b");
+  EXPECT_TRUE(f.unknown().empty());
+  EXPECT_TRUE(f.positional().empty());
+}
+
+TEST(Flags, GetChoiceAcceptsListedValuesAndFallsBack) {
+  const char* argv[] = {"prog", "--transport=socket"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_choice("transport", {"memory", "socket"}, "memory"),
+            "socket");
+  // Absent flag: fallback wins, even when not a member of the allowed set
+  // (the driver uses an out-of-set sentinel to detect "not given").
+  EXPECT_EQ(f.get_choice("mode", {"a", "b"}, "neither"), "neither");
+  EXPECT_TRUE(f.unknown().empty());  // get_choice marks the name queried
+}
+
+TEST(FlagsDeathTest, GetChoiceRejectsOutOfSetValuesListingTheChoices) {
+  const char* argv[] = {"prog", "--transport=pigeon"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EXIT(
+      (void)f.get_choice("transport", {"memory", "socket"}, "memory"),
+      ::testing::ExitedWithCode(2),
+      "--transport expects one of \\{memory, socket\\}, got \"pigeon\"");
+}
+
+TEST(Flags, GetChoiceHelpRunReturnsFallback) {
+  const char* argv[] = {"prog", "--help", "--transport=pigeon"};
+  Flags f(3, const_cast<char**>(argv));
+  EXPECT_EQ(f.get_choice("transport", {"memory", "socket"}, "memory"),
+            "memory");
+}
+
+TEST(JsonReport, NonFiniteNumbersEmitNullNotInvalidJson) {
+  const std::string path = ::testing::TempDir() + "json_report_nonfinite.json";
+  JsonReport report(path, "util_test");
+  report.metric("ok", 1.5);
+  report.metric("too_big", std::numeric_limits<double>::infinity());
+  report.metric("too_small", -std::numeric_limits<double>::infinity());
+  report.metric("undefined", std::numeric_limits<double>::quiet_NaN());
+  report.config("undefined_config", std::numeric_limits<double>::quiet_NaN());
+  report.write();
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::remove(path.c_str());
+
+  // %.17g used to print bare `inf` / `nan`, which no JSON parser accepts.
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"too_big\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"too_small\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"undefined\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"undefined_config\": null"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ok\": 1.5"), std::string::npos) << text;
+}
+
+TEST(JsonReport, SpecSectionIsEmittedOnlyWhenPopulated) {
+  const std::string with = ::testing::TempDir() + "json_report_spec.json";
+  JsonReport spec_report(with, "util_test");
+  spec_report.spec_entry("oracle-a", "cheat:piecewise");
+  spec_report.metric("digest", std::string("00ff"));
+  spec_report.write();
+  std::stringstream a;
+  a << std::ifstream(with).rdbuf();
+  std::remove(with.c_str());
+  EXPECT_NE(a.str().find("\"spec\": {"), std::string::npos) << a.str();
+  EXPECT_NE(a.str().find("\"oracle-a\": \"cheat:piecewise\""),
+            std::string::npos)
+      << a.str();
+  EXPECT_NE(a.str().find("\"digest\": \"00ff\""), std::string::npos)
+      << a.str();
+
+  const std::string without = ::testing::TempDir() + "json_report_plain.json";
+  JsonReport plain_report(without, "util_test");
+  plain_report.metric("n", static_cast<std::int64_t>(3));
+  plain_report.write();
+  std::stringstream b;
+  b << std::ifstream(without).rdbuf();
+  std::remove(without.c_str());
+  EXPECT_EQ(b.str().find("\"spec\""), std::string::npos) << b.str();
+}
+
+TEST(Digest, HexSpellingIsStableAndFixedWidth) {
+  EXPECT_EQ(digest_hex(0), "0000000000000000");
+  EXPECT_EQ(digest_hex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(digest_hex(~0ull), "ffffffffffffffff");
+  // The FNV scheme itself must not drift: pin one known chain.
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_mix(h, 1);
+  h = fnv1a_mix(h, double_bits(2.5));
+  EXPECT_EQ(h, fnv1a_mix(fnv1a_mix(kFnvOffsetBasis, 1), double_bits(2.5)));
+  EXPECT_NE(h, kFnvOffsetBasis);
 }
 
 TEST(ForkStreams, MatchesManualSequentialForks) {
