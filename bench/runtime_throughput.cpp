@@ -36,27 +36,6 @@
 
 using namespace nexit;
 
-namespace {
-
-/// FNV-1a over every session's terminal state and assignment: any
-/// scheduling-dependent divergence shows up as a different digest.
-std::uint64_t outcome_digest(const runtime::ScenarioReport& report) {
-  std::uint64_t h = util::kFnvOffsetBasis;
-  const auto mix = [&h](std::uint64_t v) { h = util::fnv1a_mix(h, v); };
-  for (const auto& s : report.sessions) {
-    mix(static_cast<std::uint64_t>(s.status));
-    mix(s.messages);
-    if (s.status == runtime::SessionStatus::kDone) {
-      mix(s.outcome.rounds);
-      for (std::size_t ix : s.outcome.assignment.ix_of_flow)
-        mix(static_cast<std::uint64_t>(ix));
-    }
-  }
-  return h;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   util::JsonReport json(flags, "runtime_throughput");
@@ -110,7 +89,7 @@ int main(int argc, char** argv) {
               sessions_per_s, messages_per_s,
               static_cast<unsigned long long>(st.messages), st.total_steps);
   std::printf("outcome digest: %016llx\n",
-              static_cast<unsigned long long>(outcome_digest(report)));
+              static_cast<unsigned long long>(runtime::outcome_digest(report)));
 
   bench::record_universe(json, cfg.universe, cfg.runtime.threads);
   json.config("sessions", static_cast<std::int64_t>(cfg.session_count));

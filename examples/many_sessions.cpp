@@ -7,6 +7,11 @@
 // cleanly by timeout instead of spinning forever.
 //
 //   ./build/many_sessions [--seed=N] [--threads=N]
+//
+// The same composition is declarable with no C++ at all: `nexit_run
+// --scenario=runtime_churn` (or --spec=scenarios/runtime_churn.spec) drives
+// an identical timeline through the scenario registry's runtime.* spec
+// namespace; this example remains as the library-level walk-through.
 
 #include <cstdio>
 

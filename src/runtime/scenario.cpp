@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/oracles.hpp"
+#include "util/digest.hpp"
 #include "util/rng.hpp"
 
 namespace nexit::runtime {
@@ -262,6 +263,21 @@ ScenarioReport Scenario::run() {
 ScenarioReport run_scenario(ScenarioConfig config) {
   Scenario scenario(std::move(config));
   return scenario.run();
+}
+
+std::uint64_t outcome_digest(const ScenarioReport& report) {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  const auto mix = [&h](std::uint64_t v) { h = util::fnv1a_mix(h, v); };
+  for (const auto& s : report.sessions) {
+    mix(static_cast<std::uint64_t>(s.status));
+    mix(s.messages);
+    if (s.status == SessionStatus::kDone) {
+      mix(s.outcome.rounds);
+      for (std::size_t ix : s.outcome.assignment.ix_of_flow)
+        mix(static_cast<std::uint64_t>(ix));
+    }
+  }
+  return h;
 }
 
 }  // namespace nexit::runtime

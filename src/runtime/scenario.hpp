@@ -176,4 +176,11 @@ class Scenario {
 /// Convenience wrapper: construct, run, report.
 ScenarioReport run_scenario(ScenarioConfig config);
 
+/// FNV-1a over every session's terminal state, message count, and (for
+/// completed sessions) rounds and final assignment: any scheduling-
+/// dependent divergence shows up as a different digest. Shared by the
+/// runtime_throughput bench, the spec-driven runtime scenarios, and the
+/// determinism tests, so "bit-identical across --threads" has one spelling.
+std::uint64_t outcome_digest(const ScenarioReport& report);
+
 }  // namespace nexit::runtime

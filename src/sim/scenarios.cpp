@@ -1,12 +1,15 @@
 #include "sim/scenarios.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <ostream>
+#include <set>
 
 #include "core/engine.hpp"
 #include "core/oracle_registry.hpp"
@@ -29,6 +32,28 @@ void ScenarioContext::mix(const std::vector<DistanceSample>& samples) {
 }
 void ScenarioContext::mix(const std::vector<BandwidthSample>& samples) {
   digest = util::fnv1a_mix(digest, digest_samples(samples));
+}
+
+std::vector<std::string> ScenarioContext::axis_values(
+    const std::string& key) const {
+  const SweepAxis* axis = spec.axis(key);
+  return axis != nullptr ? axis->values : std::vector<std::string>{};
+}
+
+ExperimentSpec ScenarioContext::spec_with(const std::string& key,
+                                          const std::string& value) const {
+  ExperimentSpec point = spec;
+  {
+    const util::FlagErrorContext context("sweep axis --sweep." + key);
+    point.merge_from_flags(util::Flags({key + "=" + value}));
+  }
+  std::string error;
+  if (!point.validate(&error)) {
+    std::cerr << "error: sweep." << key << "=" << value << ": " << error
+              << "\n";
+    std::exit(2);
+  }
+  return point;
 }
 
 std::uint64_t digest_samples(const std::vector<DistanceSample>& samples) {
@@ -965,18 +990,19 @@ int run_abl_flow_fraction(ScenarioContext& ctx) {
 // ------------------------------------------------------------------------
 
 int run_abl_group_negotiation(ScenarioContext& ctx) {
-  const DistanceExperimentConfig base = ctx.spec.to_distance_config();
   print_bench_header("Ablation: group negotiation",
                      "negotiating in k separate groups vs the whole set",
                      ctx.spec.universe_summary());
 
-  const std::size_t group_counts[] = {1, 2, 4, 8, 16, 64};
+  // The group counts are a declared axis (tune installs the paper's
+  // 1,2,4,...,64; --sweep.groups re-declares it), not a hard-coded array.
   double gain_at_1 = 0.0, gain_at_64 = 0.0;
+  bool have_1 = false, have_64 = false;
   std::cout << "\n  groups   mean-total-gain%   median-total-gain%\n";
-  for (std::size_t k : group_counts) {
-    DistanceExperimentConfig cfg = base;
-    cfg.groups = k;
-    const auto samples = run_distance_experiment(cfg);
+  for (const std::string& value : ctx.axis_values("groups")) {
+    const ExperimentSpec point = ctx.spec_with("groups", value);
+    const std::size_t k = point.groups;
+    const auto samples = run_distance_experiment(point.to_distance_config());
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
     util::Cdf neg;
@@ -987,19 +1013,20 @@ int run_abl_group_negotiation(ScenarioContext& ctx) {
     }
     mean /= static_cast<double>(samples.size());
     std::printf("  %6zu   %16.3f   %18.3f\n", k, mean, neg.value_at(0.5));
-    if (k == 1) gain_at_1 = mean;
-    if (k == 64) gain_at_64 = mean;
+    if (k == 1) gain_at_1 = mean, have_1 = true;
+    if (k == 64) gain_at_64 = mean, have_64 = true;
   }
 
-  std::cout << "\n";
-  paper_check(
-      "negotiating over the entire flow set beats many separate groups",
-      "mean gain whole-set " + std::to_string(gain_at_1) + "% vs 64 groups " +
-          std::to_string(gain_at_64) + "%",
-      gain_at_64 <= gain_at_1 + 1e-9);
-
-  ctx.record.metric("mean_gain_pct.groups_1", gain_at_1);
-  ctx.record.metric("mean_gain_pct.groups_64", gain_at_64);
+  if (have_1 && have_64) {
+    std::cout << "\n";
+    paper_check(
+        "negotiating over the entire flow set beats many separate groups",
+        "mean gain whole-set " + std::to_string(gain_at_1) + "% vs 64 groups " +
+            std::to_string(gain_at_64) + "%",
+        gain_at_64 <= gain_at_1 + 1e-9);
+    ctx.record.metric("mean_gain_pct.groups_1", gain_at_1);
+    ctx.record.metric("mean_gain_pct.groups_64", gain_at_64);
+  }
   return 0;
 }
 
@@ -1049,51 +1076,67 @@ int run_abl_ix_count(ScenarioContext& ctx) {
 // abl_models: workload / capacity / metric sensitivity of Fig. 7
 // ------------------------------------------------------------------------
 
+/// The §5.2 model variants behind the declared `model` axis: each value is
+/// one deviation from the paper's gravity + median-capacity baseline. The
+/// axis (which variants run, in what order) is spec data; the mapping from
+/// variant name to config tweak is figure semantics and stays here.
+struct ModelVariant {
+  const char* name;   // the sweep.model axis value
+  const char* label;  // the printed table row
+  void (*tweak)(BandwidthExperimentConfig&);
+};
+
+constexpr ModelVariant kModelVariants[] = {
+    {"paper", "gravity + median-capacity (paper)",
+     [](BandwidthExperimentConfig&) {}},
+    {"identical", "identical PoP weights",
+     [](BandwidthExperimentConfig& c) {
+       c.traffic.model = traffic::WorkloadModel::kIdentical;
+     }},
+    {"uniform", "uniform-random PoP weights",
+     [](BandwidthExperimentConfig& c) {
+       c.traffic.model = traffic::WorkloadModel::kUniformRandom;
+     }},
+    {"pow2", "power-of-two capacities",
+     [](BandwidthExperimentConfig& c) {
+       c.capacity.round_up_power_of_two = true;
+     }},
+    {"unused-max", "unused links get max load",
+     [](BandwidthExperimentConfig& c) {
+       c.capacity.unused_rule = capacity::UnusedLinkRule::kMax;
+     }},
+    {"piecewise", "piecewise-linear cost metric",
+     [](BandwidthExperimentConfig& c) {
+       c.objective[0] = {"piecewise", c.objective[0].cheat};
+       c.objective[1] = {"piecewise", c.objective[1].cheat};
+     }},
+};
+
 int run_abl_models(ScenarioContext& ctx) {
   const BandwidthExperimentConfig base = ctx.spec.to_bandwidth_config();
   print_bench_header("Ablation: alternate models (§5.2)",
                      "workload / capacity / metric sensitivity of Fig. 7",
                      ctx.spec.universe_summary());
 
-  struct Variant {
-    const char* name;
-    BandwidthExperimentConfig cfg;
-  };
-  std::vector<Variant> variants;
-  variants.push_back({"gravity + median-capacity (paper)", base});
-  {
-    auto c = base;
-    c.traffic.model = traffic::WorkloadModel::kIdentical;
-    variants.push_back({"identical PoP weights", c});
-  }
-  {
-    auto c = base;
-    c.traffic.model = traffic::WorkloadModel::kUniformRandom;
-    variants.push_back({"uniform-random PoP weights", c});
-  }
-  {
-    auto c = base;
-    c.capacity.round_up_power_of_two = true;
-    variants.push_back({"power-of-two capacities", c});
-  }
-  {
-    auto c = base;
-    c.capacity.unused_rule = capacity::UnusedLinkRule::kMax;
-    variants.push_back({"unused links get max load", c});
-  }
-  {
-    auto c = base;
-    c.objective[0] = {"piecewise", c.objective[0].cheat};
-    c.objective[1] = {"piecewise", c.objective[1].cheat};
-    variants.push_back({"piecewise-linear cost metric", c});
-  }
-
   std::cout << "\n  variant                              samples   "
                "default-med   negotiated-med   neg<=def%\n";
   double paper_def = 0.0, paper_neg = 0.0;
-  bool all_shapes_hold = true;
-  for (const auto& v : variants) {
-    const auto samples = run_bandwidth_experiment(v.cfg);
+  bool all_shapes_hold = true, have_paper = false;
+  for (const std::string& value : ctx.axis_values("model")) {
+    const ModelVariant* v = nullptr;
+    for (const ModelVariant& candidate : kModelVariants)
+      if (value == candidate.name) v = &candidate;
+    if (v == nullptr) {
+      std::cerr << "error: sweep.model: unknown variant \"" << value
+                << "\"; valid values:";
+      for (const ModelVariant& candidate : kModelVariants)
+        std::cerr << " " << candidate.name;
+      std::cerr << "\n";
+      return 2;
+    }
+    BandwidthExperimentConfig cfg = base;
+    v->tweak(cfg);
+    const auto samples = run_bandwidth_experiment(cfg);
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
     util::Cdf def_up, neg_up;
@@ -1110,26 +1153,31 @@ int run_abl_models(ScenarioContext& ctx) {
         samples.empty() ? 0.0
                         : 100.0 * static_cast<double>(dominated) /
                               static_cast<double>(samples.size());
-    std::printf("  %-36s   %6zu   %11.3f   %14.3f   %8.1f\n", v.name,
+    std::printf("  %-36s   %6zu   %11.3f   %14.3f   %8.1f\n", v->label,
                 samples.size(), dm, nm, dom_pct);
-    if (std::string(v.name).find("paper") != std::string::npos) {
+    if (value == "paper") {
       paper_def = dm;
       paper_neg = nm;
+      have_paper = true;
     }
     // Qualitative shape: negotiated at or below default at the median.
     all_shapes_hold &= nm <= dm + 1e-9;
   }
 
-  std::cout << "\n";
-  paper_check(
-      "results are qualitatively similar across alternate models "
-      "(negotiated <= default at the median everywhere)",
-      "paper-model medians: default " + std::to_string(paper_def) +
-          ", negotiated " + std::to_string(paper_neg),
-      all_shapes_hold);
-
-  ctx.record.metric("paper_model.default_median", paper_def);
-  ctx.record.metric("paper_model.negotiated_median", paper_neg);
+  // The paper-model medians only exist when the re-declarable axis kept
+  // the "paper" variant; recording 0.0 for a variant that never ran would
+  // fabricate data.
+  if (have_paper) {
+    std::cout << "\n";
+    paper_check(
+        "results are qualitatively similar across alternate models "
+        "(negotiated <= default at the median everywhere)",
+        "paper-model medians: default " + std::to_string(paper_def) +
+            ", negotiated " + std::to_string(paper_neg),
+        all_shapes_hold);
+    ctx.record.metric("paper_model.default_median", paper_def);
+    ctx.record.metric("paper_model.negotiated_median", paper_neg);
+  }
   ctx.record.metric("all_shapes_hold",
                     static_cast<std::int64_t>(all_shapes_hold ? 1 : 0));
   return 0;
@@ -1139,43 +1187,61 @@ int run_abl_models(ScenarioContext& ctx) {
 // abl_policies: turn / termination / proposal policy comparison
 // ------------------------------------------------------------------------
 
+/// The §4 protocol variants behind the declared `policy` axis — like the
+/// model axis, the names/order are spec data, the name -> policy-tuple
+/// mapping is figure semantics.
+struct PolicyVariant {
+  const char* name;   // the sweep.policy axis value
+  const char* label;  // the printed table row
+  core::TurnPolicy turn;
+  core::TerminationPolicy termination;
+  core::ProposalPolicy proposal;
+};
+
+constexpr PolicyVariant kPolicyVariants[] = {
+    {"paper", "alternate+early+max-combined (paper)",
+     core::TurnPolicy::kAlternate, core::TerminationPolicy::kEarly,
+     core::ProposalPolicy::kMaxCombinedGain},
+    {"lower-gain", "lower-gain turns (max-min-fair)",
+     core::TurnPolicy::kLowerGain, core::TerminationPolicy::kEarly,
+     core::ProposalPolicy::kMaxCombinedGain},
+    {"coin-toss", "coin-toss turns", core::TurnPolicy::kCoinToss,
+     core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
+    {"full", "full termination", core::TurnPolicy::kAlternate,
+     core::TerminationPolicy::kFull, core::ProposalPolicy::kMaxCombinedGain},
+    {"negotiate-all", "negotiate-all (social)", core::TurnPolicy::kAlternate,
+     core::TerminationPolicy::kNegotiateAll,
+     core::ProposalPolicy::kMaxCombinedGain},
+    {"best-local", "best-local-min-impact proposals",
+     core::TurnPolicy::kAlternate, core::TerminationPolicy::kEarly,
+     core::ProposalPolicy::kBestLocalMinImpact},
+};
+
 int run_abl_policies(ScenarioContext& ctx) {
   const DistanceExperimentConfig base = ctx.spec.to_distance_config();
   print_bench_header("Ablation: protocol policies",
                      "turn / termination / proposal policy comparison",
                      ctx.spec.universe_summary());
 
-  struct Variant {
-    const char* name;
-    core::TurnPolicy turn;
-    core::TerminationPolicy termination;
-    core::ProposalPolicy proposal;
-  };
-  const Variant variants[] = {
-      {"alternate+early+max-combined (paper)", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
-      {"lower-gain turns (max-min-fair)", core::TurnPolicy::kLowerGain,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
-      {"coin-toss turns", core::TurnPolicy::kCoinToss,
-       core::TerminationPolicy::kEarly, core::ProposalPolicy::kMaxCombinedGain},
-      {"full termination", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kFull, core::ProposalPolicy::kMaxCombinedGain},
-      {"negotiate-all (social)", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kNegotiateAll,
-       core::ProposalPolicy::kMaxCombinedGain},
-      {"best-local-min-impact proposals", core::TurnPolicy::kAlternate,
-       core::TerminationPolicy::kEarly,
-       core::ProposalPolicy::kBestLocalMinImpact},
-  };
-
   double fair_imbalance = -1.0, alt_imbalance = -1.0;
   std::cout << "\n  variant                                   mean-gain%   "
                "median-gain%   mean|gainA-gainB| (km)\n";
-  for (const auto& v : variants) {
+  for (const std::string& value : ctx.axis_values("policy")) {
+    const PolicyVariant* v = nullptr;
+    for (const PolicyVariant& candidate : kPolicyVariants)
+      if (value == candidate.name) v = &candidate;
+    if (v == nullptr) {
+      std::cerr << "error: sweep.policy: unknown variant \"" << value
+                << "\"; valid values:";
+      for (const PolicyVariant& candidate : kPolicyVariants)
+        std::cerr << " " << candidate.name;
+      std::cerr << "\n";
+      return 2;
+    }
     DistanceExperimentConfig cfg = base;
-    cfg.negotiation.turn = v.turn;
-    cfg.negotiation.termination = v.termination;
-    cfg.negotiation.proposal = v.proposal;
+    cfg.negotiation.turn = v->turn;
+    cfg.negotiation.termination = v->termination;
+    cfg.negotiation.proposal = v->proposal;
     const auto samples = run_distance_experiment(cfg);
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
@@ -1190,23 +1256,23 @@ int run_abl_policies(ScenarioContext& ctx) {
     }
     mean /= static_cast<double>(samples.size());
     imbalance /= static_cast<double>(samples.size());
-    std::printf("  %-40s   %9.3f   %11.3f   %18.1f\n", v.name, mean,
+    std::printf("  %-40s   %9.3f   %11.3f   %18.1f\n", v->label, mean,
                 gain.value_at(0.5), imbalance);
-    if (v.turn == core::TurnPolicy::kLowerGain) fair_imbalance = imbalance;
-    if (std::string(v.name).find("paper") != std::string::npos)
-      alt_imbalance = imbalance;
+    if (value == "lower-gain") fair_imbalance = imbalance;
+    if (value == "paper") alt_imbalance = imbalance;
   }
 
-  std::cout << "\n";
-  paper_check(
-      "lower-cumulative-gain turns approximate max-min fairness "
-      "(smaller gain imbalance than alternate turns)",
-      "mean |gainA-gainB|: lower-gain " + std::to_string(fair_imbalance) +
-          " km vs alternate " + std::to_string(alt_imbalance) + " km",
-      fair_imbalance <= alt_imbalance * 1.25);
-
-  ctx.record.metric("imbalance_km.lower_gain", fair_imbalance);
-  ctx.record.metric("imbalance_km.alternate", alt_imbalance);
+  if (fair_imbalance >= 0.0 && alt_imbalance >= 0.0) {
+    std::cout << "\n";
+    paper_check(
+        "lower-cumulative-gain turns approximate max-min fairness "
+        "(smaller gain imbalance than alternate turns)",
+        "mean |gainA-gainB|: lower-gain " + std::to_string(fair_imbalance) +
+            " km vs alternate " + std::to_string(alt_imbalance) + " km",
+        fair_imbalance <= alt_imbalance * 1.25);
+    ctx.record.metric("imbalance_km.lower_gain", fair_imbalance);
+    ctx.record.metric("imbalance_km.alternate", alt_imbalance);
+  }
   return 0;
 }
 
@@ -1215,18 +1281,19 @@ int run_abl_policies(ScenarioContext& ctx) {
 // ------------------------------------------------------------------------
 
 int run_abl_pref_range(ScenarioContext& ctx) {
-  const DistanceExperimentConfig base = ctx.spec.to_distance_config();
   print_bench_header("Ablation: preference range P",
                      "negotiated gain as a function of the class range",
                      ctx.spec.universe_summary());
 
-  const int ranges[] = {1, 2, 3, 5, 10, 20, 50};
+  // The P values are a declared axis (tune installs the paper's
+  // 1,2,3,5,10,20,50; --sweep.pref-range re-declares it).
   double median_at_10 = 0.0, median_at_1 = 0.0, median_at_50 = 0.0;
+  bool have_1 = false, have_10 = false, have_50 = false;
   std::cout << "\n   P   median-total-gain%   mean-total-gain%   optimal-median%\n";
-  for (int p : ranges) {
-    DistanceExperimentConfig cfg = base;
-    cfg.negotiation.preferences.range = p;
-    const auto samples = run_distance_experiment(cfg);
+  for (const std::string& value : ctx.axis_values("pref-range")) {
+    const ExperimentSpec point = ctx.spec_with("pref-range", value);
+    const int p = point.pref_range;
+    const auto samples = run_distance_experiment(point.to_distance_config());
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
     util::Cdf neg, opt;
@@ -1239,25 +1306,29 @@ int run_abl_pref_range(ScenarioContext& ctx) {
     mean /= static_cast<double>(samples.size());
     std::printf("  %2d   %18.3f   %16.3f   %15.3f\n", p, neg.value_at(0.5),
                 mean, opt.value_at(0.5));
-    if (p == 10) median_at_10 = neg.value_at(0.5);
-    if (p == 1) median_at_1 = neg.value_at(0.5);
-    if (p == 50) median_at_50 = neg.value_at(0.5);
+    if (p == 10) median_at_10 = neg.value_at(0.5), have_10 = true;
+    if (p == 1) median_at_1 = neg.value_at(0.5), have_1 = true;
+    if (p == 50) median_at_50 = neg.value_at(0.5), have_50 = true;
   }
 
-  std::cout << "\n";
-  paper_check(
-      "increasing the range beyond P=10 does not noticeably help",
-      "median gain at P=10: " + std::to_string(median_at_10) + "%, at P=50: " +
-          std::to_string(median_at_50) + "%",
-      median_at_50 - median_at_10 < 1.0);
-  paper_check("a tiny range (P=1) leaves gain on the table",
-              "median gain at P=1: " + std::to_string(median_at_1) +
-                  "% vs P=10: " + std::to_string(median_at_10) + "%",
-              median_at_1 <= median_at_10 + 1e-9);
+  if (have_10 && (have_1 || have_50)) std::cout << "\n";
+  if (have_10 && have_50) {
+    paper_check(
+        "increasing the range beyond P=10 does not noticeably help",
+        "median gain at P=10: " + std::to_string(median_at_10) + "%, at P=50: " +
+            std::to_string(median_at_50) + "%",
+        median_at_50 - median_at_10 < 1.0);
+  }
+  if (have_1 && have_10) {
+    paper_check("a tiny range (P=1) leaves gain on the table",
+                "median gain at P=1: " + std::to_string(median_at_1) +
+                    "% vs P=10: " + std::to_string(median_at_10) + "%",
+                median_at_1 <= median_at_10 + 1e-9);
+  }
 
-  ctx.record.metric("median_gain_pct.p1", median_at_1);
-  ctx.record.metric("median_gain_pct.p10", median_at_10);
-  ctx.record.metric("median_gain_pct.p50", median_at_50);
+  if (have_1) ctx.record.metric("median_gain_pct.p1", median_at_1);
+  if (have_10) ctx.record.metric("median_gain_pct.p10", median_at_10);
+  if (have_50) ctx.record.metric("median_gain_pct.p50", median_at_50);
   return 0;
 }
 
@@ -1265,8 +1336,11 @@ int run_abl_pref_range(ScenarioContext& ctx) {
 // custom: generic runner for arbitrary composed specs
 // ------------------------------------------------------------------------
 
+int run_runtime(ScenarioContext& ctx);
+
 int run_custom(ScenarioContext& ctx) {
   const ExperimentSpec& spec = ctx.spec;
+  if (spec.experiment == ExperimentKind::kRuntime) return run_runtime(ctx);
   const std::string objectives = "A=" + spec.resolved_objective(0).to_string() +
                                  ", B=" + spec.resolved_objective(1).to_string();
 
@@ -1347,6 +1421,94 @@ int run_custom(ScenarioContext& ctx) {
 }
 
 // ------------------------------------------------------------------------
+// runtime scenarios: the concurrent runtime behind the same registry
+// ------------------------------------------------------------------------
+
+int run_runtime(ScenarioContext& ctx) {
+  const runtime::ScenarioConfig cfg = runtime_config_of(ctx.spec);
+  print_bench_header("Runtime scenario",
+                     "concurrent negotiation sessions over a declared timeline",
+                     ctx.spec.universe_summary());
+  std::cout << (cfg.session_count == 0
+                    ? std::string("one session per universe pair")
+                    : std::to_string(cfg.session_count) + " sessions")
+            << " ("
+            << (cfg.transport == runtime::Transport::kSocketPair ? "socket"
+                                                                 : "memory")
+            << " transport), stagger " << cfg.start_stagger << ", "
+            << cfg.events.size() << " timeline event"
+            << (cfg.events.size() == 1 ? "" : "s") << ", threads "
+            << cfg.runtime.threads << "\n";
+
+  runtime::ScenarioReport report;
+  try {
+    report = runtime::run_scenario(cfg);
+  } catch (const std::exception& e) {
+    // A mis-declared timeline (no pair with enough links, event targeting a
+    // session that will not exist) is a config error, not a crash.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+
+  static const char* const kKindNames[] = {"initial", "churn-renego",
+                                           "failure-renego"};
+  std::printf("\n%-4s %-22s %-15s %-10s %8s %8s %9s\n", "id", "pair", "kind",
+              "status", "attempts", "rounds", "messages");
+  // Big populations get a capped table — the stats line and the JSON record
+  // still cover every session, and the cap is announced, never silent.
+  const std::size_t table_cap = 40;
+  for (const auto& s : report.sessions) {
+    if (s.id >= table_cap) {
+      std::printf("  ... (%zu more sessions; see --json for all of them)\n",
+                  report.sessions.size() - table_cap);
+      break;
+    }
+    std::printf("%-4u %-22s %-15s %-10s %8d %8zu %9llu", s.id,
+                s.pair_label.c_str(), kKindNames[static_cast<int>(s.kind)],
+                runtime::to_string(s.status).c_str(), s.attempts,
+                s.status == runtime::SessionStatus::kDone ? s.outcome.rounds
+                                                          : 0,
+                static_cast<unsigned long long>(s.messages));
+    if (s.parent >= 0)
+      std::printf("   (renegotiates for session %lld)",
+                  static_cast<long long>(s.parent));
+    if (s.status == runtime::SessionStatus::kFailed ||
+        s.status == runtime::SessionStatus::kCancelled)
+      std::printf("   [%s]", s.error.c_str());
+    std::printf("\n");
+  }
+
+  const auto& st = report.stats;
+  std::printf("\n%zu sessions: %zu done, %zu failed, %zu cancelled; "
+              "%zu scheduling rounds (peak %zu ready), final tick %llu\n",
+              st.sessions, st.done, st.failed, st.cancelled, st.rounds,
+              st.peak_ready, static_cast<unsigned long long>(st.final_tick));
+
+  std::size_t churn_renegos = 0, failure_renegos = 0;
+  for (const auto& s : report.sessions) {
+    churn_renegos += s.kind == runtime::SessionKind::kChurnRenegotiation;
+    failure_renegos += s.kind == runtime::SessionKind::kFailureRenegotiation;
+  }
+
+  ctx.mix(runtime::outcome_digest(report));
+  ctx.record.metric("sessions", static_cast<std::int64_t>(st.sessions));
+  ctx.record.metric("sessions_done", static_cast<std::int64_t>(st.done));
+  ctx.record.metric("sessions_failed", static_cast<std::int64_t>(st.failed));
+  ctx.record.metric("sessions_cancelled",
+                    static_cast<std::int64_t>(st.cancelled));
+  ctx.record.metric("churn_renegotiations",
+                    static_cast<std::int64_t>(churn_renegos));
+  ctx.record.metric("failure_renegotiations",
+                    static_cast<std::int64_t>(failure_renegos));
+  ctx.record.metric("rounds", static_cast<std::int64_t>(st.rounds));
+  ctx.record.metric("peak_ready", static_cast<std::int64_t>(st.peak_ready));
+  ctx.record.metric("steps", static_cast<std::int64_t>(st.total_steps));
+  ctx.record.metric("messages", static_cast<std::int64_t>(st.messages));
+  ctx.record.metric("final_tick", static_cast<std::int64_t>(st.final_tick));
+  return 0;
+}
+
+// ------------------------------------------------------------------------
 // preset tunes + registry
 // ------------------------------------------------------------------------
 
@@ -1384,21 +1546,80 @@ void tune_table3(ExperimentSpec& s) {
 
 void tune_abl_destination_based(ExperimentSpec& s) { s.pairs = 60; }
 void tune_abl_flow_fraction(ExperimentSpec& s) { s.pairs = 80; }
-void tune_abl_group_negotiation(ExperimentSpec& s) { s.pairs = 60; }
+
+void tune_abl_group_negotiation(ExperimentSpec& s) {
+  s.pairs = 60;
+  s.sweeps = {{"groups", {"1", "2", "4", "8", "16", "64"}}};
+}
+
 void tune_abl_ix_count(ExperimentSpec& s) { s.pairs = 150; }
 
 void tune_abl_models(ExperimentSpec& s) {
   s.experiment = ExperimentKind::kBandwidth;
   s.pairs = 30;
+  s.sweeps = {{"model",
+               {"paper", "identical", "uniform", "pow2", "unused-max",
+                "piecewise"}}};
 }
 
-void tune_abl_policies(ExperimentSpec& s) { s.pairs = 60; }
-void tune_abl_pref_range(ExperimentSpec& s) { s.pairs = 60; }
+void tune_abl_policies(ExperimentSpec& s) {
+  s.pairs = 60;
+  s.sweeps = {{"policy",
+               {"paper", "lower-gain", "coin-toss", "full", "negotiate-all",
+                "best-local"}}};
+}
+
+void tune_abl_pref_range(ExperimentSpec& s) {
+  s.pairs = 60;
+  s.sweeps = {{"pref-range", {"1", "2", "3", "5", "10", "20", "50"}}};
+}
+
+void tune_fig4_sweep(ExperimentSpec& s) {
+  // Fig. 4's gain distributions as a function of universe size: the ISP
+  // axis is declared data, so `--sweep.isps=...` re-scales the figure.
+  s.sweeps = {{"isps", {"20", "35", "50", "65"}}};
+}
+
+void tune_fig7_sweep(ExperimentSpec& s) {
+  // Fig. 7's MEL distributions as a function of how many failed pairs are
+  // sampled (the paper's 247-instance axis, scaled down).
+  tune_fig7(s);
+  s.sweeps = {{"pairs", {"15", "30", "45", "60"}}};
+}
+
+void tune_runtime(ExperimentSpec& s) { s.experiment = ExperimentKind::kRuntime; }
+
+void tune_runtime_churn(ExperimentSpec& s) {
+  // The many_sessions example's population and timeline, as a preset: a
+  // small universe negotiating concurrently with staggered starts, a
+  // mid-session link failure, a peer restart, a traffic churn, and one
+  // session stuck behind a black-hole transport.
+  s.experiment = ExperimentKind::kRuntime;
+  s.isps = 30;
+  s.seed = 11;
+  s.pairs = 12;
+  s.traffic_model = traffic::WorkloadModel::kIdentical;
+  s.runtime.min_links = 3;  // failures need surviving interconnections
+  s.runtime.stagger = 2;
+  s.runtime.burst = 8;
+  s.runtime.handshake_deadline = 16;
+  s.runtime.max_attempts = 2;
+  s.runtime.drop = 1.0;
+  s.runtime.fault_targets = {3};
+  s.runtime.events = {
+      {1, RuntimeEventSpec::Kind::kLinkFailure, 0, RuntimeEventSpec::kBusiest},
+      {3, RuntimeEventSpec::Kind::kPeerRestart, 1, 0},
+      {5, RuntimeEventSpec::Kind::kFlowChurn, 2, 4242},
+  };
+}
 
 const std::vector<ScenarioPreset> kScenarios = {
     {"fig4", "fig4_distance_gain",
      "Fig. 4: distance gain of optimal vs negotiated routing", tune_nothing,
      run_fig4, "experiment"},
+    {"fig4_sweep", "-",
+     "Fig. 4 swept over universe size (declared sweep.isps axis)",
+     tune_fig4_sweep, run_fig4, "experiment"},
     {"fig5", "fig5_flow_strategies",
      "Fig. 5: flow-pair strawman strategies vs negotiation", tune_fig5,
      run_fig5, "experiment,flow-baselines"},
@@ -1408,6 +1629,9 @@ const std::vector<ScenarioPreset> kScenarios = {
     {"fig7", "fig7_bandwidth_mel",
      "Fig. 7: post-failure MEL, default and negotiated vs optimal", tune_fig7,
      run_fig7, "experiment"},
+    {"fig7_sweep", "-",
+     "Fig. 7 swept over sampled pair count (declared sweep.pairs axis)",
+     tune_fig7_sweep, run_fig7, "experiment"},
     {"fig8", "fig8_unilateral",
      "Fig. 8: unilateral upstream optimisation hurts the downstream",
      tune_fig8, run_fig8, "experiment,unilateral"},
@@ -1433,20 +1657,28 @@ const std::vector<ScenarioPreset> kScenarios = {
     {"abl_group_negotiation", "abl_group_negotiation",
      "§5.1: negotiating in k separate groups vs the whole set",
      tune_abl_group_negotiation, run_abl_group_negotiation,
-     "experiment,groups"},
+     "experiment,groups", "groups"},
     {"abl_ix_count", "abl_ix_count",
      "§5.1: negotiated gain bucketed by interconnection count",
      tune_abl_ix_count, run_abl_ix_count, "experiment"},
     {"abl_models", "abl_models",
      "§5.2: workload / capacity / metric sensitivity of Fig. 7",
      tune_abl_models, run_abl_models,
-     "experiment,traffic,capacity-pow2,capacity-unused,oracle-a,oracle-b"},
+     "experiment,traffic,capacity-pow2,capacity-unused,oracle-a,oracle-b",
+     "model"},
     {"abl_policies", "abl_policies",
      "§4: turn / termination / proposal policy comparison", tune_abl_policies,
-     run_abl_policies, "experiment,turn,termination,proposal"},
+     run_abl_policies, "experiment,turn,termination,proposal", "policy"},
     {"abl_pref_range", "abl_pref_range",
      "§5: negotiated gain as a function of the class range P",
-     tune_abl_pref_range, run_abl_pref_range, "experiment,pref-range"},
+     tune_abl_pref_range, run_abl_pref_range, "experiment,pref-range",
+     "pref-range"},
+    {"runtime", "-",
+     "concurrent-runtime scenario: sessions + a declared runtime.* timeline",
+     tune_runtime, run_runtime, "experiment"},
+    {"runtime_churn", "-",
+     "runtime timeline demo: staggered starts, link failure, restart, churn",
+     tune_runtime_churn, run_runtime, "experiment"},
     {"custom", "-",
      "generic runner for an arbitrary spec (use --spec=<file> or flags)",
      tune_nothing, run_custom},
@@ -1493,31 +1725,79 @@ void print_scenario_tsv(std::ostream& os) {
 
 namespace {
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    out.push_back(csv.substr(
+        begin, comma == std::string::npos ? comma : comma - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
+}
+
 /// Expands ScenarioPreset::ignored_keys against the full spec key list.
 std::vector<std::string> expand_ignored_keys(const ScenarioPreset& preset,
                                              const ExperimentSpec& spec) {
   const std::string raw = preset.ignored_keys;
   if (raw.empty()) return {};
-  const auto split = [](const std::string& csv) {
-    std::vector<std::string> out;
-    std::size_t begin = 0;
-    while (begin <= csv.size()) {
-      const std::size_t comma = csv.find(',', begin);
-      out.push_back(csv.substr(
-          begin, comma == std::string::npos ? comma : comma - begin));
-      if (comma == std::string::npos) break;
-      begin = comma + 1;
-    }
-    return out;
-  };
-  if (raw[0] != '!') return split(raw);
-  const std::vector<std::string> consumed = split(raw.substr(1));
+  if (raw[0] != '!') return split_csv(raw);
+  const std::vector<std::string> consumed = split_csv(raw.substr(1));
   std::vector<std::string> ignored;
   for (const auto& [key, value] : spec.to_key_values()) {
     if (std::find(consumed.begin(), consumed.end(), key) == consumed.end())
       ignored.push_back(key);
   }
   return ignored;
+}
+
+/// Comma-list of ScenarioPreset::own_axes as a set.
+std::set<std::string> own_axis_set(const ScenarioPreset& preset) {
+  std::set<std::string> own;
+  if (preset.own_axes[0] == '\0') return own;
+  for (std::string& key : split_csv(preset.own_axes)) own.insert(std::move(key));
+  return own;
+}
+
+/// The valid values of a sweep-only variant axis ({} for key axes) — the
+/// names of the variant table the owning run function dispatches on, so
+/// run_scenario can fail a bad trailing value before any engine runs.
+std::vector<std::string> variant_axis_values(const std::string& axis) {
+  std::vector<std::string> names;
+  if (axis == "model") {
+    for (const ModelVariant& v : kModelVariants) names.emplace_back(v.name);
+  } else if (axis == "policy") {
+    for (const PolicyVariant& v : kPolicyVariants) names.emplace_back(v.name);
+  }
+  return names;
+}
+
+std::string point_label(
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  std::string label;
+  for (const auto& [key, value] : overrides)
+    label += (label.empty() ? "" : " ") + key + "=" + value;
+  return label;
+}
+
+/// One expanded sweep point: the base spec with the point's overrides
+/// applied through the normal key parsers (exit 2 naming the axis on a
+/// malformed value) and the expanded axes dropped from the copy.
+ExperimentSpec spec_at_point(
+    const ExperimentSpec& base, const std::set<std::string>& own,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  ExperimentSpec point = base;
+  std::vector<SweepAxis> kept;
+  for (const SweepAxis& axis : point.sweeps)
+    if (own.count(axis.key) > 0) kept.push_back(axis);
+  point.sweeps = std::move(kept);
+  for (const auto& [key, value] : overrides) {
+    const util::FlagErrorContext context("sweep axis --sweep." + key);
+    point.merge_from_flags(util::Flags({key + "=" + value}));
+  }
+  return point;
 }
 
 }  // namespace
@@ -1535,6 +1815,7 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
   util::JsonReport record(
       flags, std::string(preset.legacy_binary) == "-" ? preset.name
                                                       : preset.legacy_binary);
+  const std::string spec_out = flags.get_string("spec-out", "");
   util::reject_unknown(flags);
 
   std::string error;
@@ -1546,7 +1827,8 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
   // away from the preset's own value would silently vanish — the legacy
   // binaries exited 2 for these flags, and so do we. (Re-stating the
   // preset's value is harmless, so serialized specs reload cleanly.)
-  for (const std::string& key : expand_ignored_keys(preset, tuned)) {
+  const std::vector<std::string> ignored = expand_ignored_keys(preset, tuned);
+  for (const std::string& key : ignored) {
     if (spec.overridden.count(key) > 0 &&
         spec.value_of(key) != tuned.value_of(key)) {
       std::cerr << "error: --" << key << " is ignored by scenario '"
@@ -1554,15 +1836,149 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
       return 2;
     }
   }
+
+  // Axis checks. An axis the preset owns is iterated inside its run
+  // function; any other axis must be an orthogonal, unlocked key — sweeping
+  // a key the preset controls (or another preset's variant axis) would
+  // silently decorate every point with a value that never takes effect.
+  const std::set<std::string> own = own_axis_set(preset);
+  std::vector<SweepAxis> outer;
+  for (const SweepAxis& axis : spec.sweeps) {
+    if (own.count(axis.key) > 0) continue;
+    const SpecKeyInfo* info = find_spec_key(axis.key);
+    if (info != nullptr && info->sweep_only) {
+      std::cerr << "error: --sweep." << axis.key << " is an axis of scenario '"
+                << info->owner_scenario << "', not of '" << preset.name
+                << "'\n";
+      return 2;
+    }
+    if (std::find(ignored.begin(), ignored.end(), axis.key) != ignored.end()) {
+      std::cerr << "error: --sweep." << axis.key << " is locked by scenario '"
+                << preset.name << "' (its run controls this key itself)\n";
+      return 2;
+    }
+    outer.push_back(axis);
+  }
+
+  // Pre-validate every value of every owned axis before any engine runs: a
+  // bad value at the end of an axis must fail the run up front, not after
+  // minutes of compute. Key axes re-validate the spec per value; variant
+  // axes check against the owning run function's variant table.
+  for (const SweepAxis& axis : spec.sweeps) {
+    const SpecKeyInfo* info = find_spec_key(axis.key);
+    if (own.count(axis.key) == 0 || info == nullptr)
+      continue;  // outer axes are validated per point below
+    if (info->sweep_only) {
+      const std::vector<std::string> valid = variant_axis_values(axis.key);
+      for (const std::string& value : axis.values) {
+        if (std::find(valid.begin(), valid.end(), value) == valid.end()) {
+          std::cerr << "error: sweep." << axis.key << ": unknown variant \""
+                    << value << "\"; valid values:";
+          for (const std::string& name : valid) std::cerr << " " << name;
+          std::cerr << "\n";
+          return 2;
+        }
+      }
+      continue;
+    }
+    for (const std::string& value : axis.values) {
+      const ExperimentSpec point = spec_at_point(spec, own, {{axis.key, value}});
+      if (!point.validate(&error)) {
+        std::cerr << "error: sweep." << axis.key << "=" << value << ": "
+                  << error << "\n";
+        return 2;
+      }
+    }
+  }
+
+  // --spec-out: archive the fully merged spec (defaults + preset + file +
+  // flags, sweep ranges already expanded to explicit values). The archive
+  // is a valid --spec input; reloading it *under the same preset* (the
+  // header spells out the exact invocation — a spec file does not carry
+  // the scenario name, and the `custom` default would run the preset's
+  // analysis-free twin) reproduces this run's digest.
+  if (!spec_out.empty()) {
+    std::ofstream out(spec_out);
+    out << "# merged spec written by --spec-out; reload with:\n"
+        << "#   nexit_run --scenario=" << preset.name << " --spec=" << spec_out
+        << "\n"
+        << spec.to_text();
+    out.flush();
+    if (!out) {
+      std::cerr << "error: --spec-out: cannot write " << spec_out << "\n";
+      return 2;
+    }
+    std::cout << "merged spec written to " << spec_out << "\n";
+  }
+
   for (const auto& [key, value] : spec.to_key_values())
     record.spec_entry(key, value);
 
-  ScenarioContext ctx{spec, record};
-  const int rc = preset.run(ctx);
-  if (rc != 0) return rc;
+  if (outer.empty()) {
+    ScenarioContext ctx{spec, record};
+    const int rc = preset.run(ctx);
+    if (rc != 0) return rc;
 
-  std::printf("\noutcome digest: %s\n", util::digest_hex(ctx.digest).c_str());
-  record.metric("digest", util::digest_hex(ctx.digest));
+    std::printf("\noutcome digest: %s\n", util::digest_hex(ctx.digest).c_str());
+    record.metric("digest", util::digest_hex(ctx.digest));
+    record.write();
+    return 0;
+  }
+
+  // Generic sweep: expand the cross product of the non-owned axes in
+  // canonical order and run the preset's full pipeline per point. Each
+  // point gets its own JSON section and digest; the printed outcome digest
+  // folds the per-point digests in expansion order, so it is bit-identical
+  // across --threads like every single-point run. The per-axis value cap
+  // composes multiplicatively, so bound the *total* before materializing
+  // anything — two 10000-value axes must not allocate 10^8 points.
+  std::size_t total_points = 1;
+  for (const SweepAxis& axis : outer) {
+    total_points *= axis.values.size();
+    if (total_points > 4096) {
+      std::cerr << "error: sweep cross product exceeds 4096 points (";
+      for (const SweepAxis& a : outer)
+        std::cerr << a.key << "[" << a.values.size() << "]";
+      std::cerr << ") — shrink an axis\n";
+      return 2;
+    }
+  }
+  const auto points = expand_sweep(outer);
+  std::vector<ExperimentSpec> point_specs;
+  point_specs.reserve(points.size());
+  for (const auto& overrides : points) {
+    ExperimentSpec point = spec_at_point(spec, own, overrides);
+    if (!point.validate(&error)) {
+      std::cerr << "error: sweep point (" << point_label(overrides)
+                << "): " << error << "\n";
+      return 2;
+    }
+    point_specs.push_back(std::move(point));
+  }
+
+  std::printf("declared sweep: %zu points over", points.size());
+  for (const SweepAxis& axis : outer)
+    std::printf(" %s[%zu]", axis.key.c_str(), axis.values.size());
+  std::printf("\n");
+
+  std::uint64_t sweep_digest = util::kFnvOffsetBasis;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::string label = point_label(points[i]);
+    std::printf("\n===== sweep point %zu/%zu: %s =====\n\n", i + 1,
+                points.size(), label.c_str());
+    record.begin_point(label);
+    ScenarioContext ctx{point_specs[i], record};
+    const int rc = preset.run(ctx);
+    if (rc != 0) return rc;
+    record.metric("digest", util::digest_hex(ctx.digest));
+    std::printf("\npoint digest: %s\n", util::digest_hex(ctx.digest).c_str());
+    sweep_digest = util::fnv1a_mix(sweep_digest, ctx.digest);
+  }
+  record.end_points();
+
+  std::printf("\noutcome digest: %s\n", util::digest_hex(sweep_digest).c_str());
+  record.metric("sweep_points", static_cast<std::int64_t>(points.size()));
+  record.metric("digest", util::digest_hex(sweep_digest));
   record.write();
   return 0;
 }
@@ -1574,7 +1990,76 @@ int scenario_shim_main(const char* name, int argc, char** argv) {
     std::cerr << "internal error: scenario '" << name << "' not registered\n";
     return 2;
   }
+  if (flags.help_requested()) {
+    // The flag list itself is printed by util::reject_unknown once the
+    // pipeline has queried every key; this preamble is the shim-specific
+    // part of the contract.
+    std::cout << "note: this binary is a frozen legacy wrapper; the "
+                 "maintained driver is\n  nexit_run --scenario="
+              << name
+              << " [flags]\n(byte-identical output; sweep axes, --spec-out "
+                 "and --help-spec live on the driver)\n";
+  }
   return run_scenario(*preset, flags);
+}
+
+runtime::ScenarioConfig runtime_config_of(const ExperimentSpec& spec) {
+  assert(spec.experiment == ExperimentKind::kRuntime);
+  runtime::ScenarioConfig c;
+  c.universe = spec.universe();
+  c.min_links = spec.runtime.min_links;
+  c.session_count = spec.runtime.sessions;
+  switch (spec.traffic_model) {
+    case traffic::WorkloadModel::kGravity:
+      c.traffic = runtime::ScenarioTraffic::kGravityAtoB;
+      break;
+    case traffic::WorkloadModel::kIdentical:
+      c.traffic = runtime::ScenarioTraffic::kBidirectionalIdentical;
+      break;
+    case traffic::WorkloadModel::kUniformRandom:
+      c.traffic = runtime::ScenarioTraffic::kBidirectionalUniformRandom;
+      break;
+  }
+  c.negotiation = spec.to_negotiation_config();
+  c.limits.handshake_deadline = spec.runtime.handshake_deadline;
+  c.limits.round_timeout = spec.runtime.round_timeout;
+  c.limits.max_attempts = static_cast<int>(spec.runtime.max_attempts);
+  c.limits.max_steps_per_pump = spec.runtime.burst;
+  c.runtime.threads = spec.threads;
+  c.runtime.max_ticks = spec.runtime.max_ticks;
+  c.transport = spec.runtime.transport == RuntimeTransport::kSocket
+                    ? runtime::Transport::kSocketPair
+                    : runtime::Transport::kInMemory;
+  c.faults.drop = spec.runtime.drop;
+  c.faults.corrupt = spec.runtime.corrupt;
+  c.fault_targets = spec.runtime.fault_targets;
+  c.start_stagger = spec.runtime.stagger;
+  c.seed = spec.seed;
+  for (const RuntimeEventSpec& ev : spec.runtime.events) {
+    runtime::ScenarioEvent out;
+    out.at = ev.at;
+    out.session = ev.session;
+    switch (ev.kind) {
+      case RuntimeEventSpec::Kind::kStart:
+        out.kind = runtime::EventKind::kStart;
+        break;
+      case RuntimeEventSpec::Kind::kFlowChurn:
+        out.kind = runtime::EventKind::kFlowChurn;
+        break;
+      case RuntimeEventSpec::Kind::kLinkFailure:
+        out.kind = runtime::EventKind::kLinkFailure;
+        break;
+      case RuntimeEventSpec::Kind::kPeerRestart:
+        out.kind = runtime::EventKind::kPeerRestart;
+        break;
+    }
+    out.param = ev.kind == RuntimeEventSpec::Kind::kLinkFailure &&
+                        ev.param == RuntimeEventSpec::kBusiest
+                    ? runtime::kBusiestIx
+                    : ev.param;
+    c.events.push_back(out);
+  }
+  return c;
 }
 
 }  // namespace nexit::sim

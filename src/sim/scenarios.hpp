@@ -8,12 +8,20 @@
 // over scenario_shim_main(); `nexit_run --scenario=<name>` dispatches to
 // the identical code path, which is what keeps their outputs byte-identical
 // (the CI migration guard diffs them every run).
+//
+// Sweeps: a spec may declare axes (`sweep.<key>=...`). Axes a preset owns
+// (ScenarioPreset::own_axes — the ablation sweeps the paper hard-coded) are
+// iterated inside its run function so the legacy single-table output stays
+// byte-identical; every other axis is expanded here as a cross product,
+// each point running the preset's full pipeline with a per-point JSON
+// section and a per-point digest folded into one sweep digest.
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "runtime/scenario.hpp"
 #include "sim/spec.hpp"
 #include "util/digest.hpp"
 #include "util/json_report.hpp"
@@ -33,6 +41,18 @@ struct ScenarioContext {
   void mix_double(double v) { mix(util::double_bits(v)); }
   void mix(const std::vector<DistanceSample>& samples);
   void mix(const std::vector<BandwidthSample>& samples);
+
+  /// The declared values of a preset-owned axis (tune() installs the
+  /// paper's defaults; `--sweep.<key>=...` overrides them). Empty when the
+  /// axis is undeclared.
+  [[nodiscard]] std::vector<std::string> axis_values(
+      const std::string& key) const;
+  /// This point's spec: the base spec with one owned-axis value applied
+  /// through the normal key parser and re-validated. Exits 2 naming the
+  /// axis on a malformed or invalid value (run_scenario pre-validates, so
+  /// a run function normally never trips this).
+  [[nodiscard]] ExperimentSpec spec_with(const std::string& key,
+                                         const std::string& value) const;
 };
 
 struct ScenarioPreset {
@@ -51,26 +71,45 @@ struct ScenarioPreset {
   /// silently vanishes is the misconfiguration mode this API must not
   /// reintroduce.
   const char* ignored_keys = "";
+  /// Comma-separated axes the run function iterates itself (via
+  /// axis_values) instead of the generic cross-product expansion:
+  /// `pref-range` for abl_pref_range, the virtual `model`/`policy` variant
+  /// axes for abl_models/abl_policies. tune() declares their default
+  /// values; `--sweep.<axis>=...` re-declares them.
+  const char* own_axes = "";
 };
 
-/// All registered presets: fig4..fig11, table3, the abl_* ablations, and
-/// "custom" (a generic runner for arbitrary composed specs).
+/// All registered presets: fig4..fig11 (plus the fig4_sweep/fig7_sweep
+/// multi-point variants), table3, the abl_* ablations, the runtime
+/// scenarios, and "custom" (a generic runner for arbitrary composed specs).
 const std::vector<ScenarioPreset>& scenario_registry();
 const ScenarioPreset* find_scenario(const std::string& name);
 std::vector<std::string> scenario_names();
 
 /// `--list-scenarios` bodies: a human table, or name/legacy/description TSV
-/// for scripts (the CI migration guard iterates the tsv form).
+/// for scripts (the CI migration guard and the README catalog generator
+/// iterate the tsv form).
 void print_scenario_list(std::ostream& os);
 void print_scenario_tsv(std::ostream& os);
 
 /// The shared pipeline: preset defaults -> optional --spec file -> flag
-/// overrides -> reject_unknown -> validate -> record spec -> run -> digest
-/// print + JSON write. Both the driver and every legacy shim end up here.
+/// overrides -> reject_unknown -> validate -> lock/axis checks -> optional
+/// --spec-out archive -> record spec -> run (expanding non-owned sweep
+/// axes) -> digest print + JSON write. Both the driver and every legacy
+/// shim end up here.
 int run_scenario(const ScenarioPreset& preset, const util::Flags& flags);
 
-/// main() body of a legacy figure binary: parse argv, run `name`.
+/// main() body of a legacy figure binary: parse argv, run `name`. Under
+/// --help it first prints a note that the binary is a frozen wrapper and
+/// names the equivalent `nexit_run --scenario=...` invocation.
 int scenario_shim_main(const char* name, int argc, char** argv);
+
+/// The runtime::ScenarioConfig a spec with experiment=runtime describes —
+/// universe, session population, limits, faults, and the declared timeline
+/// mapped onto runtime::ScenarioEvent. Lives at the scenario layer (not on
+/// ExperimentSpec) because only this layer depends on src/runtime.
+[[nodiscard]] runtime::ScenarioConfig runtime_config_of(
+    const ExperimentSpec& spec);
 
 /// FNV digests over the deterministic per-sample fields; equal digests
 /// across --threads / --incremental / preset-vs-legacy runs demonstrate

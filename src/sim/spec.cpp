@@ -1,6 +1,9 @@
 #include "sim/spec.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,7 +19,8 @@ namespace {
 
 // --- enum <-> string tables ---------------------------------------------
 // One table per enum; merge_from_flags feeds the names to
-// Flags::get_choice, so an out-of-set value dies listing exactly these.
+// Flags::get_choice, so an out-of-set value dies listing exactly these —
+// and the key registry lists the same names as the key's valid choices.
 
 template <typename E>
 struct Choice {
@@ -27,6 +31,7 @@ struct Choice {
 constexpr Choice<ExperimentKind> kExperiments[] = {
     {ExperimentKind::kDistance, "distance"},
     {ExperimentKind::kBandwidth, "bandwidth"},
+    {ExperimentKind::kRuntime, "runtime"},
 };
 constexpr Choice<core::TurnPolicy> kTurns[] = {
     {core::TurnPolicy::kAlternate, "alternate"},
@@ -61,6 +66,16 @@ constexpr Choice<capacity::UnusedLinkRule> kUnusedRules[] = {
     {capacity::UnusedLinkRule::kMean, "mean"},
     {capacity::UnusedLinkRule::kMax, "max"},
 };
+constexpr Choice<RuntimeTransport> kTransports[] = {
+    {RuntimeTransport::kMemory, "memory"},
+    {RuntimeTransport::kSocket, "socket"},
+};
+constexpr Choice<RuntimeEventSpec::Kind> kEventKinds[] = {
+    {RuntimeEventSpec::Kind::kStart, "start"},
+    {RuntimeEventSpec::Kind::kFlowChurn, "churn"},
+    {RuntimeEventSpec::Kind::kLinkFailure, "fail"},
+    {RuntimeEventSpec::Kind::kPeerRestart, "restart"},
+};
 
 template <typename E, std::size_t N>
 std::string name_of(const Choice<E> (&table)[N], E value) {
@@ -75,6 +90,14 @@ std::vector<std::string> names_of(const Choice<E> (&table)[N]) {
   std::vector<std::string> out;
   for (const auto& c : table) out.emplace_back(c.name);
   return out;
+}
+
+template <typename E, std::size_t N>
+std::string choices_text(const Choice<E> (&table)[N]) {
+  std::string out = "one of {";
+  for (std::size_t i = 0; i < N; ++i)
+    out += std::string(i == 0 ? "" : ", ") + table[i].name;
+  return out + "}";
 }
 
 /// Reads one choice key: current enum value is the fallback, the table is
@@ -94,13 +117,301 @@ std::size_t merge_count(const util::Flags& flags, const std::string& key,
   return util::get_count(flags, key, current, max_value);
 }
 
+// --- split / numeric helpers --------------------------------------------
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t pos = text.find(sep, begin);
+    out.push_back(
+        text.substr(begin, pos == std::string::npos ? pos : pos - begin));
+    if (pos == std::string::npos) break;
+    begin = pos + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (*end != '\0' || errno == ERANGE || text[0] == '-') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_finite_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (*end != '\0' || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// --- runtime.events grammar ---------------------------------------------
+// token := <kind>@<tick>/<session>[/<param>], comma-separated. `churn`
+// requires a reseed param, `fail` takes an index or `busiest` (default
+// busiest), `start`/`restart` take none.
+
+constexpr const char* kEventsGrammar =
+    "a comma-separated timeline: start@<tick>/<session>, "
+    "churn@<tick>/<session>/<seed>, fail@<tick>/<session>[/<ix>|/busiest], "
+    "restart@<tick>/<session>";
+
+bool parse_event(const std::string& token, RuntimeEventSpec* out) {
+  const std::size_t at = token.find('@');
+  if (at == std::string::npos) return false;
+  const std::string kind_name = token.substr(0, at);
+  bool known = false;
+  for (const auto& c : kEventKinds) {
+    if (kind_name == c.name) {
+      out->kind = c.value;
+      known = true;
+    }
+  }
+  if (!known) return false;
+  const std::vector<std::string> fields = split(token.substr(at + 1), '/');
+  if (fields.size() < 2) return false;
+  std::uint64_t session = 0;
+  if (!parse_u64(fields[0], &out->at) || !parse_u64(fields[1], &session) ||
+      session > 0xffffffffull) {
+    return false;
+  }
+  out->session = static_cast<std::uint32_t>(session);
+  out->param = 0;
+  switch (out->kind) {
+    case RuntimeEventSpec::Kind::kStart:
+    case RuntimeEventSpec::Kind::kPeerRestart:
+      return fields.size() == 2;
+    case RuntimeEventSpec::Kind::kFlowChurn:
+      return fields.size() == 3 && parse_u64(fields[2], &out->param);
+    case RuntimeEventSpec::Kind::kLinkFailure:
+      if (fields.size() == 2 || (fields.size() == 3 && fields[2] == "busiest")) {
+        out->param = RuntimeEventSpec::kBusiest;
+        return true;
+      }
+      return fields.size() == 3 && parse_u64(fields[2], &out->param);
+  }
+  return false;
+}
+
+std::string event_text(const RuntimeEventSpec& ev) {
+  std::string out = name_of(kEventKinds, ev.kind) + "@" +
+                    std::to_string(ev.at) + "/" + std::to_string(ev.session);
+  switch (ev.kind) {
+    case RuntimeEventSpec::Kind::kStart:
+    case RuntimeEventSpec::Kind::kPeerRestart:
+      break;
+    case RuntimeEventSpec::Kind::kFlowChurn:
+      out += "/" + std::to_string(ev.param);
+      break;
+    case RuntimeEventSpec::Kind::kLinkFailure:
+      out += ev.param == RuntimeEventSpec::kBusiest
+                 ? "/busiest"
+                 : "/" + std::to_string(ev.param);
+      break;
+  }
+  return out;
+}
+
+std::string events_text(const std::vector<RuntimeEventSpec>& events) {
+  std::string out;
+  for (std::size_t i = 0; i < events.size(); ++i)
+    out += (i == 0 ? "" : ",") + event_text(events[i]);
+  return out;
+}
+
+std::vector<RuntimeEventSpec> merge_events(
+    const util::Flags& flags, const std::string& key,
+    const std::vector<RuntimeEventSpec>& current) {
+  const std::string raw = flags.get_string(key, events_text(current));
+  if (raw == events_text(current)) return current;
+  std::vector<RuntimeEventSpec> events;
+  if (!raw.empty()) {
+    for (const std::string& token : split(raw, ',')) {
+      RuntimeEventSpec ev;
+      if (!parse_event(token, &ev)) {
+        if (flags.help_requested()) return current;
+        util::die_flag_value(key, raw,
+                             std::string(kEventsGrammar) +
+                                 " (bad event \"" + token + "\")");
+      }
+      events.push_back(ev);
+    }
+  }
+  return events;
+}
+
+// --- runtime.fault-targets (comma-separated session ids) ----------------
+
+std::string targets_text(const std::vector<std::uint32_t>& targets) {
+  std::string out;
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    out += (i == 0 ? "" : ",") + std::to_string(targets[i]);
+  return out;
+}
+
+std::vector<std::uint32_t> merge_targets(
+    const util::Flags& flags, const std::string& key,
+    const std::vector<std::uint32_t>& current) {
+  const std::string raw = flags.get_string(key, targets_text(current));
+  if (raw == targets_text(current)) return current;
+  std::vector<std::uint32_t> targets;
+  if (!raw.empty()) {
+    for (const std::string& token : split(raw, ',')) {
+      std::uint64_t id = 0;
+      if (!parse_u64(token, &id) || id > 0xffffffffull) {
+        if (flags.help_requested()) return current;
+        util::die_flag_value(key, raw,
+                             "a comma-separated list of session ids");
+      }
+      targets.push_back(static_cast<std::uint32_t>(id));
+    }
+  }
+  return targets;
+}
+
+// --- sweep axes ----------------------------------------------------------
+
+constexpr const char* kAxisGrammar =
+    "a value list `v1,v2,...` or a range `lo:hi:step` (step > 0, lo <= hi)";
+
+/// Expands one axis value string into explicit values; exits 2 (naming the
+/// `sweep.<key>` flag) on malformed syntax, empty lists, or runaway ranges.
+std::vector<std::string> parse_axis_values(const util::Flags& flags,
+                                           const std::string& flag_name,
+                                           const std::string& raw) {
+  const auto die = [&](const std::string& extra) -> std::vector<std::string> {
+    if (flags.help_requested()) return {};
+    util::die_flag_value(flag_name, raw,
+                         std::string(kAxisGrammar) +
+                             (extra.empty() ? "" : " (" + extra + ")"));
+  };
+  if (raw.empty()) return die("empty value list");
+  // ':'-separated numerics are a range; anything else (e.g. an oracle axis
+  // value like `cheat:piecewise`) falls through to the comma-list form.
+  const std::vector<std::string> fields = split(raw, ':');
+  bool numeric_range = fields.size() > 1;
+  for (const std::string& f : fields) {
+    double ignored = 0;
+    numeric_range = numeric_range && parse_finite_double(f, &ignored);
+  }
+  if (numeric_range) {
+    double lo = 0, hi = 0, step = 0;
+    if (fields.size() != 3 || !parse_finite_double(fields[0], &lo) ||
+        !parse_finite_double(fields[1], &hi) ||
+        !parse_finite_double(fields[2], &step)) {
+      return die("expected exactly lo:hi:step");
+    }
+    if (step <= 0.0) return die("step must be > 0");
+    if (lo > hi) return die("lo must be <= hi");
+    const double count_f = std::floor((hi - lo) / step + 1e-9) + 1.0;
+    if (count_f > 10000.0) return die("range expands to > 10000 values");
+    const auto count = static_cast<std::size_t>(count_f);
+    const bool integral =
+        lo == std::floor(lo) && step == std::floor(step) &&
+        raw.find('.') == std::string::npos &&
+        raw.find('e') == std::string::npos && raw.find('E') == std::string::npos;
+    std::vector<std::string> values;
+    values.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double v = lo + static_cast<double>(i) * step;
+      values.push_back(integral
+                           ? std::to_string(static_cast<std::int64_t>(v))
+                           : fmt_double(v));
+    }
+    return values;
+  }
+  std::vector<std::string> values = split(raw, ',');
+  for (const std::string& v : values)
+    if (v.empty()) return die("empty value in list");
+  return values;
+}
+
+std::string axis_values_text(const SweepAxis& axis) {
+  std::string out;
+  for (std::size_t i = 0; i < axis.values.size(); ++i)
+    out += (i == 0 ? "" : ",") + axis.values[i];
+  return out;
+}
+
+void merge_sweeps(ExperimentSpec& spec, const util::Flags& flags) {
+  for (const std::string& name : flags.names_with_prefix("sweep.")) {
+    const std::string key = name.substr(6);
+    const SpecKeyInfo* info = find_spec_key(key);
+    if (info == nullptr || key == "experiment") {
+      if (flags.help_requested()) continue;
+      // `experiment` is registered but never sweepable: every preset pins
+      // its engine, and `custom` would print mixed figures under one digest.
+      std::cerr << "error: flag --" << name
+                << (info == nullptr ? ": unknown sweep axis \"" + key + "\""
+                                    : ": the experiment kind cannot be swept")
+                << "; sweepable keys are:";
+      for (const SpecKeyInfo& k : spec_key_registry())
+        if (k.key != "experiment") std::cerr << " " << k.key;
+      std::cerr << "\n";
+      std::exit(2);
+    }
+    const std::string raw = flags.get_string(name, "");
+    std::vector<std::string> values = parse_axis_values(flags, name, raw);
+    if (values.empty()) continue;  // --help run with a malformed axis
+    spec.overridden.insert(name);
+    bool replaced = false;
+    for (SweepAxis& axis : spec.sweeps) {
+      if (axis.key == key) {
+        axis.values = std::move(values);
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) {
+      SweepAxis axis{key, std::move(values)};
+      const auto pos = std::find_if(
+          spec.sweeps.begin(), spec.sweeps.end(),
+          [&](const SweepAxis& a) { return a.key > axis.key; });
+      spec.sweeps.insert(pos, std::move(axis));
+    }
+  }
+}
+
 }  // namespace
+
+unsigned kind_bit(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kDistance: return kForDistance;
+    case ExperimentKind::kBandwidth: return kForBandwidth;
+    case ExperimentKind::kRuntime: return kForRuntime;
+  }
+  return kForAllKinds;
+}
+
+std::string kinds_label(unsigned kinds) {
+  if ((kinds & kForAllKinds) == kForAllKinds) return "any";
+  std::string out;
+  for (const auto& c : kExperiments) {
+    if ((kinds & kind_bit(c.value)) != 0)
+      out += std::string(out.empty() ? "" : ", ") + c.name;
+  }
+  return out;
+}
 
 std::string to_string(ExperimentKind kind) {
   return name_of(kExperiments, kind);
 }
 
 void ExperimentSpec::merge_from_flags(const util::Flags& flags) {
+  // Declared axes first, so the overridden bookkeeping below sees them.
+  merge_sweeps(*this, flags);
+
   // Remember which keys this source actually set: validate() rejects ones
   // the chosen experiment kind would silently ignore.
   for (const auto& [key, value] : to_key_values())
@@ -142,6 +453,34 @@ void ExperimentSpec::merge_from_flags(const util::Flags& flags) {
   unilateral = flags.get_bool("unilateral", unilateral);
   groups = merge_count(flags, "groups", groups, 1u << 20);
   threads = merge_count(flags, "threads", threads, 1024);
+
+  runtime.sessions =
+      merge_count(flags, "runtime.sessions", runtime.sessions, 1u << 20);
+  runtime.transport =
+      merge_choice(flags, "runtime.transport", kTransports, runtime.transport);
+  runtime.stagger = merge_count(flags, "runtime.stagger",
+                                static_cast<std::size_t>(runtime.stagger),
+                                1u << 20);
+  runtime.min_links =
+      merge_count(flags, "runtime.min-links", runtime.min_links, 1000);
+  runtime.burst = merge_count(flags, "runtime.burst", runtime.burst, 1u << 30);
+  runtime.handshake_deadline =
+      merge_count(flags, "runtime.handshake-deadline",
+                  static_cast<std::size_t>(runtime.handshake_deadline),
+                  1u << 30);
+  runtime.round_timeout = merge_count(
+      flags, "runtime.round-timeout",
+      static_cast<std::size_t>(runtime.round_timeout), 1u << 30);
+  runtime.max_attempts =
+      merge_count(flags, "runtime.max-attempts", runtime.max_attempts, 1000);
+  runtime.max_ticks = merge_count(flags, "runtime.max-ticks",
+                                  static_cast<std::size_t>(runtime.max_ticks),
+                                  1u << 30);
+  runtime.drop = flags.get_double("runtime.drop", runtime.drop);
+  runtime.corrupt = flags.get_double("runtime.corrupt", runtime.corrupt);
+  runtime.fault_targets =
+      merge_targets(flags, "runtime.fault-targets", runtime.fault_targets);
+  runtime.events = merge_events(flags, "runtime.events", runtime.events);
 }
 
 void ExperimentSpec::merge_from_file(const std::string& path) {
@@ -185,6 +524,7 @@ void ExperimentSpec::merge_from_file(const std::string& path) {
     std::cerr << "\nvalid keys are:";
     for (const std::string& key : file_flags.queried())
       std::cerr << " " << key;
+    std::cerr << " sweep.<key>";
     std::cerr << "\n";
     std::exit(2);
   }
@@ -192,11 +532,6 @@ void ExperimentSpec::merge_from_file(const std::string& path) {
 
 std::vector<std::pair<std::string, std::string>> ExperimentSpec::to_key_values()
     const {
-  const auto fmt_double = [](double v) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return std::string(buf);
-  };
   std::vector<std::pair<std::string, std::string>> kv;
   kv.emplace_back("experiment", to_string(experiment));
   kv.emplace_back("isps", std::to_string(isps));
@@ -227,6 +562,23 @@ std::vector<std::pair<std::string, std::string>> ExperimentSpec::to_key_values()
   kv.emplace_back("unilateral", unilateral ? "true" : "false");
   kv.emplace_back("groups", std::to_string(groups));
   kv.emplace_back("threads", std::to_string(threads));
+  kv.emplace_back("runtime.sessions", std::to_string(runtime.sessions));
+  kv.emplace_back("runtime.transport", name_of(kTransports, runtime.transport));
+  kv.emplace_back("runtime.stagger", std::to_string(runtime.stagger));
+  kv.emplace_back("runtime.min-links", std::to_string(runtime.min_links));
+  kv.emplace_back("runtime.burst", std::to_string(runtime.burst));
+  kv.emplace_back("runtime.handshake-deadline",
+                  std::to_string(runtime.handshake_deadline));
+  kv.emplace_back("runtime.round-timeout",
+                  std::to_string(runtime.round_timeout));
+  kv.emplace_back("runtime.max-attempts", std::to_string(runtime.max_attempts));
+  kv.emplace_back("runtime.max-ticks", std::to_string(runtime.max_ticks));
+  kv.emplace_back("runtime.drop", fmt_double(runtime.drop));
+  kv.emplace_back("runtime.corrupt", fmt_double(runtime.corrupt));
+  kv.emplace_back("runtime.fault-targets", targets_text(runtime.fault_targets));
+  kv.emplace_back("runtime.events", events_text(runtime.events));
+  for (const SweepAxis& axis : sweeps)
+    kv.emplace_back("sweep." + axis.key, axis_values_text(axis));
   return kv;
 }
 
@@ -234,6 +586,12 @@ std::string ExperimentSpec::value_of(const std::string& key) const {
   for (const auto& [k, v] : to_key_values())
     if (k == key) return v;
   return {};
+}
+
+const SweepAxis* ExperimentSpec::axis(const std::string& key) const {
+  for (const SweepAxis& a : sweeps)
+    if (a.key == key) return &a;
+  return nullptr;
 }
 
 std::string ExperimentSpec::to_text() const {
@@ -247,7 +605,7 @@ core::OracleSpec ExperimentSpec::resolved_objective(int side) const {
   core::OracleSpec resolved = objective[side];
   if (resolved.name == "default") {
     resolved.name =
-        experiment == ExperimentKind::kDistance ? "distance" : "bandwidth";
+        experiment == ExperimentKind::kBandwidth ? "bandwidth" : "distance";
   }
   return resolved;
 }
@@ -257,22 +615,27 @@ bool ExperimentSpec::validate(std::string* error) const {
     if (error != nullptr) *error = message;
     return false;
   };
-  const core::OracleRegistry& registry = core::OracleRegistry::global();
-  for (int side = 0; side < 2; ++side) {
-    const core::OracleSpec resolved = resolved_objective(side);
-    const core::OracleRegistry::Entry* entry = registry.find(resolved.name);
-    const std::string key = side == 0 ? "oracle-a" : "oracle-b";
-    if (entry == nullptr) {
-      std::string msg = key + ": unknown oracle '" + resolved.name +
-                        "'; valid names (optionally behind \"cheat:\"):";
-      for (const std::string& name : registry.names()) msg += " " + name;
-      msg += " default";
-      return fail(msg);
-    }
-    if (experiment == ExperimentKind::kDistance && entry->needs_capacities) {
-      return fail(key + ": oracle '" + resolved.name +
-                  "' needs link capacities, which only experiment=bandwidth "
-                  "computes");
+  if (experiment != ExperimentKind::kRuntime) {
+    // The runtime builds its own oracles per session kind (distance for
+    // initial/churn sessions, bandwidth for failure renegotiations); the
+    // objective keys are inert for it and checked below like any other.
+    const core::OracleRegistry& registry = core::OracleRegistry::global();
+    for (int side = 0; side < 2; ++side) {
+      const core::OracleSpec resolved = resolved_objective(side);
+      const core::OracleRegistry::Entry* entry = registry.find(resolved.name);
+      const std::string key = side == 0 ? "oracle-a" : "oracle-b";
+      if (entry == nullptr) {
+        std::string msg = key + ": unknown oracle '" + resolved.name +
+                          "'; valid names (optionally behind \"cheat:\"):";
+        for (const std::string& name : registry.names()) msg += " " + name;
+        msg += " default";
+        return fail(msg);
+      }
+      if (experiment == ExperimentKind::kDistance && entry->needs_capacities) {
+        return fail(key + ": oracle '" + resolved.name +
+                    "' needs link capacities, which only experiment=bandwidth "
+                    "computes");
+      }
     }
   }
   if (groups == 0) return fail("groups: must be >= 1");
@@ -281,27 +644,61 @@ bool ExperimentSpec::validate(std::string* error) const {
   if (isps < 2) return fail("isps: need at least 2 ISPs to form a pair");
   if (pairs == 0) return fail("pairs: must be >= 1");
 
-  // Keys only one experiment kind consumes: accepting an explicit
-  // non-default value the run would ignore is the same silent-
-  // misconfiguration failure mode util::reject_unknown exists to prevent.
-  // Explicit *default* values stay legal so a fully serialized spec (which
-  // spells out every key) remains loadable as a --spec file — a validated
-  // spec never carries non-default inert keys, so the round trip is safe.
-  const bool distance = experiment == ExperimentKind::kDistance;
-  const char* const bandwidth_only[] = {"traffic", "capacity-pow2",
-                                        "capacity-unused", "max-failures",
-                                        "unilateral"};
-  const char* const distance_only[] = {"flow-baselines", "groups"};
+  if (experiment == ExperimentKind::kRuntime) {
+    if (runtime.max_attempts < 1)
+      return fail("runtime.max-attempts: must be >= 1");
+    if (runtime.min_links < 1) return fail("runtime.min-links: must be >= 1");
+    // Events and fault targets index the initial sessions. With an explicit
+    // session count the bound is known now; with the one-per-pair default it
+    // is only known after the universe is built (the runtime re-checks).
+    if (runtime.sessions > 0) {
+      for (const RuntimeEventSpec& ev : runtime.events) {
+        if (ev.session >= runtime.sessions) {
+          return fail("runtime.events: event \"" + event_text(ev) +
+                      "\" targets session " + std::to_string(ev.session) +
+                      ", but only " + std::to_string(runtime.sessions) +
+                      " sessions are declared");
+        }
+      }
+      for (std::uint32_t target : runtime.fault_targets) {
+        if (target >= runtime.sessions) {
+          return fail("runtime.fault-targets: session " +
+                      std::to_string(target) + " will not exist (only " +
+                      std::to_string(runtime.sessions) + " declared)");
+        }
+      }
+    }
+  }
+
+  // Keys only some experiment kinds consume: accepting an explicit non-
+  // default value the run would ignore is the same silent-misconfiguration
+  // failure mode util::reject_unknown exists to prevent. Explicit *default*
+  // values stay legal so a fully serialized spec (which spells out every
+  // key) remains loadable as a --spec file — a validated spec never carries
+  // non-default inert keys, so the round trip is safe. The applicability
+  // mask lives in the key registry, the same metadata --help-spec prints.
   const ExperimentSpec defaults;
-  const auto* inert_begin = distance ? bandwidth_only : distance_only;
-  const auto* inert_end =
-      distance ? bandwidth_only + std::size(bandwidth_only)
-               : distance_only + std::size(distance_only);
-  for (const auto* key = inert_begin; key != inert_end; ++key) {
-    if (overridden.count(*key) > 0 && value_of(*key) != defaults.value_of(*key)) {
-      return fail(std::string(*key) + ": only meaningful for experiment=" +
-                  (distance ? "bandwidth" : "distance") +
+  const unsigned kind = kind_bit(experiment);
+  for (const SpecKeyInfo& info : spec_key_registry()) {
+    if (info.sweep_only || (info.kinds & kind) != 0) continue;
+    if (overridden.count(info.key) > 0 &&
+        value_of(info.key) != defaults.value_of(info.key)) {
+      return fail(info.key + ": only meaningful for experiment=" +
+                  kinds_label(info.kinds) +
                   " — this run would silently ignore it");
+    }
+  }
+
+  // Swept keys must be meaningful for the kind too: every point of a
+  // `sweep.groups` axis on a bandwidth run would silently ignore its value.
+  for (const SweepAxis& a : sweeps) {
+    const SpecKeyInfo* info = find_spec_key(a.key);
+    if (info == nullptr) return fail("sweep." + a.key + ": unknown axis");
+    if (a.values.empty()) return fail("sweep." + a.key + ": empty axis");
+    if (!info->sweep_only && (info->kinds & kind) == 0) {
+      return fail("sweep." + a.key + ": key is only meaningful for experiment=" +
+                  kinds_label(info->kinds) +
+                  " — every point of this sweep would silently ignore it");
     }
   }
   return true;
@@ -321,30 +718,26 @@ std::string ExperimentSpec::universe_summary() const {
   return sim::universe_summary(universe());
 }
 
-namespace {
-
-core::NegotiationConfig negotiation_of(const ExperimentSpec& spec) {
+core::NegotiationConfig ExperimentSpec::to_negotiation_config() const {
   core::NegotiationConfig c;
-  c.preferences.range = spec.pref_range;
-  c.turn = spec.turn;
-  c.proposal = spec.proposal;
-  c.acceptance = spec.acceptance;
-  c.termination = spec.termination;
-  c.tie_break = spec.tie_break;
-  c.reassign_traffic_fraction = spec.reassign;
-  c.settlement_rollback = spec.rollback;
-  c.incremental_evaluation = spec.incremental;
-  c.verify_incremental_every = spec.verify_incremental;
+  c.preferences.range = pref_range;
+  c.turn = turn;
+  c.proposal = proposal;
+  c.acceptance = acceptance;
+  c.termination = termination;
+  c.tie_break = tie_break;
+  c.reassign_traffic_fraction = reassign;
+  c.settlement_rollback = rollback;
+  c.incremental_evaluation = incremental;
+  c.verify_incremental_every = verify_incremental;
   return c;
 }
-
-}  // namespace
 
 DistanceExperimentConfig ExperimentSpec::to_distance_config() const {
   assert(experiment == ExperimentKind::kDistance);
   DistanceExperimentConfig cfg;
   cfg.universe = universe();
-  cfg.negotiation = negotiation_of(*this);
+  cfg.negotiation = to_negotiation_config();
   cfg.objective[0] = resolved_objective(0);
   cfg.objective[1] = resolved_objective(1);
   cfg.run_flow_pair_baselines = flow_baselines;
@@ -357,7 +750,7 @@ BandwidthExperimentConfig ExperimentSpec::to_bandwidth_config() const {
   assert(experiment == ExperimentKind::kBandwidth);
   BandwidthExperimentConfig cfg;
   cfg.universe = universe();
-  cfg.negotiation = negotiation_of(*this);
+  cfg.negotiation = to_negotiation_config();
   cfg.objective[0] = resolved_objective(0);
   cfg.objective[1] = resolved_objective(1);
   cfg.traffic.model = traffic_model;
@@ -367,6 +760,213 @@ BandwidthExperimentConfig ExperimentSpec::to_bandwidth_config() const {
   cfg.max_failures_per_pair = max_failures;
   cfg.threads = threads;
   return cfg;
+}
+
+std::vector<std::vector<std::pair<std::string, std::string>>> expand_sweep(
+    const std::vector<SweepAxis>& axes) {
+  std::vector<std::vector<std::pair<std::string, std::string>>> points;
+  if (axes.empty()) return points;
+  std::size_t total = 1;
+  for (const SweepAxis& a : axes) total *= a.values.empty() ? 1 : a.values.size();
+  points.reserve(total);
+  std::vector<std::size_t> odometer(axes.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::vector<std::pair<std::string, std::string>> point;
+    point.reserve(axes.size());
+    for (std::size_t i = 0; i < axes.size(); ++i)
+      point.emplace_back(axes[i].key, axes[i].values[odometer[i]]);
+    points.push_back(std::move(point));
+    // Rightmost axis fastest: the innermost loop of the nested-for order.
+    for (std::size_t i = axes.size(); i-- > 0;) {
+      if (++odometer[i] < axes[i].values.size()) break;
+      odometer[i] = 0;
+    }
+  }
+  return points;
+}
+
+// ------------------------------------------------------------------------
+// Key metadata registry: the single source for --help-spec, the generated
+// docs/SPEC_REFERENCE.md, and validate()'s kind-applicability checks.
+// Defaults are derived from a default-constructed spec (never typed twice);
+// choice constraints come from the same tables the parser reads.
+// ------------------------------------------------------------------------
+
+namespace {
+
+struct KeyDoc {
+  const char* key;
+  const char* type;
+  unsigned kinds;
+  std::string constraints;
+  const char* doc;
+};
+
+std::vector<SpecKeyInfo> build_key_registry() {
+  const ExperimentSpec defaults;
+  const std::string oracle_names = [] {
+    std::string out = "a registry oracle (";
+    bool first = true;
+    for (const std::string& n : core::OracleRegistry::global().names()) {
+      out += std::string(first ? "" : ", ") + n;
+      first = false;
+    }
+    return out + ") or `default`, optionally behind `cheat:`";
+  }();
+  const KeyDoc docs[] = {
+      {"experiment", "choice", kForAllKinds, choices_text(kExperiments),
+       "Which engine runs: the paper's distance or bandwidth experiment, or "
+       "the concurrent negotiation runtime with a declared timeline."},
+      {"isps", "count", kForAllKinds, "integer in [0, 1048576]",
+       "Synthetic ISPs in the universe (the paper used 65)."},
+      {"seed", "int", kForAllKinds, "",
+       "Root RNG seed; every per-pair/per-session stream forks from it "
+       "deterministically."},
+      {"pairs", "count", kForAllKinds, "integer in [0, 1048576]",
+       "Upper bound on ISP pairs drawn from the universe."},
+      {"pop-min", "count", kForAllKinds, "integer in [0, 10000]",
+       "Minimum PoPs per generated ISP."},
+      {"pop-max", "count", kForAllKinds, "integer in [0, 10000]",
+       "Maximum PoPs per generated ISP."},
+      {"oracle-a", "oracle", kForDistance | kForBandwidth, oracle_names,
+       "Side A's objective; `default` resolves per experiment kind."},
+      {"oracle-b", "oracle", kForDistance | kForBandwidth, oracle_names,
+       "Side B's objective; `default` resolves per experiment kind."},
+      {"pref-range", "int", kForAllKinds, "integer >= 1",
+       "Preference-class range P (paper §4.1)."},
+      {"turn", "choice", kForAllKinds, choices_text(kTurns),
+       "Whose turn it is to propose (paper §4.2)."},
+      {"proposal", "choice", kForAllKinds, choices_text(kProposals),
+       "Which candidate move the proposer picks (paper §4.2)."},
+      {"acceptance", "choice", kForAllKinds, choices_text(kAcceptances),
+       "When the responder accepts a proposal (paper §4.2)."},
+      {"termination", "choice", kForAllKinds, choices_text(kTerminations),
+       "When the negotiation stops (paper §4.2)."},
+      {"tie-break", "choice", kForDistance | kForBandwidth,
+       choices_text(kTieBreaks),
+       "Tie-break among equally good proposals; the runtime always forces "
+       "`deterministic` (the wire-agent contract)."},
+      {"reassign", "double", kForAllKinds, "finite, fraction of traffic",
+       "Reassignment quantum (paper: 0.05); only load-dependent oracles "
+       "honour it."},
+      {"rollback", "bool", kForAllKinds, "",
+       "Settlement rollback of tentative moves the final agreement dropped."},
+      {"incremental", "bool", kForAllKinds, "",
+       "Delta-driven oracle re-evaluation (bit-identical to full recompute; "
+       "see docs/ARCHITECTURE.md)."},
+      {"verify-incremental", "int", kForAllKinds, "0 = build default, -1 = off",
+       "Cross-check incremental evaluations against full recomputes every "
+       "Nth refresh."},
+      {"traffic", "choice", kForBandwidth | kForRuntime,
+       choices_text(kWorkloads),
+       "Workload model for PoP weights (bandwidth experiment) / session "
+       "traffic shape (runtime)."},
+      {"capacity-pow2", "bool", kForBandwidth, "",
+       "Round link capacities up to powers of two (§5.2 alternate model)."},
+      {"capacity-unused", "choice", kForBandwidth, choices_text(kUnusedRules),
+       "Capacity rule for links unused by the baseline routing."},
+      {"max-failures", "count", kForBandwidth, "integer in [0, 10000]",
+       "Interconnection failures sampled per pair."},
+      {"flow-baselines", "bool", kForDistance, "",
+       "Also run the Fig. 5 flow-pair strawman strategies."},
+      {"unilateral", "bool", kForBandwidth, "",
+       "Also run the Fig. 8 upstream-only LP series."},
+      {"groups", "count", kForDistance, "integer in [1, 1048576]",
+       "Split the flow set into k independently negotiated groups (§5.1)."},
+      {"threads", "count", kForAllKinds, "integer in [0, 1024]",
+       "Worker threads; 0 = auto-detect. Results are bit-identical for "
+       "every value."},
+      {"runtime.sessions", "count", kForRuntime, "integer in [0, 1048576]",
+       "Initial sessions; 0 = one per universe pair, larger counts cycle "
+       "the pairs with per-session traffic."},
+      {"runtime.transport", "choice", kForRuntime, choices_text(kTransports),
+       "Channel kind: in-memory or fd-backed AF_UNIX socket pairs."},
+      {"runtime.stagger", "count", kForRuntime, "virtual ticks",
+       "Session i starts at tick i * stagger (start@ events override)."},
+      {"runtime.min-links", "count", kForRuntime, "integer >= 1",
+       "Universe pairs need at least this many interconnections (failures "
+       "need survivors)."},
+      {"runtime.burst", "count", kForRuntime, "0 = run to stall",
+       "Pump steps before a session yields its worker; small bursts let "
+       "timeline events land genuinely mid-negotiation."},
+      {"runtime.handshake-deadline", "count", kForRuntime, "virtual ticks",
+       "Attempts still in the handshake after this are torn down (and "
+       "retried)."},
+      {"runtime.round-timeout", "count", kForRuntime, "virtual ticks",
+       "Mid-session ticks without progress before teardown."},
+      {"runtime.max-attempts", "count", kForRuntime, "integer >= 1",
+       "Total attempts per session (first try plus retries, fresh channels "
+       "each)."},
+      {"runtime.max-ticks", "count", kForRuntime, "virtual ticks",
+       "Virtual-clock horizon; still-live sessions are cancelled past it."},
+      {"runtime.drop", "double", kForRuntime, "probability in [0, 1]",
+       "Whole-frame drop probability per send on faulted transports."},
+      {"runtime.corrupt", "double", kForRuntime, "probability in [0, 1]",
+       "Single-byte corruption probability per send on faulted transports."},
+      {"runtime.fault-targets", "list", kForRuntime,
+       "comma-separated session ids",
+       "Sessions whose transport gets the fault injection (empty = all)."},
+      {"runtime.events", "events", kForRuntime, kEventsGrammar,
+       "The declared timeline: staggered starts, flow churn, mid-session "
+       "link failure, peer restarts."},
+  };
+
+  std::vector<SpecKeyInfo> registry;
+  for (const KeyDoc& d : docs) {
+    SpecKeyInfo info;
+    info.key = d.key;
+    info.type = d.type;
+    info.doc = d.doc;
+    info.constraints = d.constraints;
+    info.default_value = defaults.value_of(d.key);
+    info.kinds = d.kinds;
+    registry.push_back(std::move(info));
+  }
+
+  // Sweep-only axes: virtual keys a preset's run function maps to config
+  // variants. They have no scalar value; `sweep.<name>=...` is their only
+  // spelling.
+  const auto sweep_only = [&registry](const char* key, const char* owner,
+                                      const std::string& choices,
+                                      const char* doc,
+                                      const std::string& default_values) {
+    SpecKeyInfo info;
+    info.key = key;
+    info.type = "choice";
+    info.doc = doc;
+    info.constraints = choices;
+    info.default_value = default_values;
+    info.kinds = kForDistance | kForBandwidth;
+    info.sweep_only = true;
+    info.owner_scenario = owner;
+    registry.push_back(std::move(info));
+  };
+  sweep_only("model", "abl_models",
+             "one of {paper, identical, uniform, pow2, unused-max, piecewise}",
+             "abl_models variant axis: §5.2 alternate workload / capacity / "
+             "metric models, one deviation from the paper model per value.",
+             "paper,identical,uniform,pow2,unused-max,piecewise");
+  sweep_only("policy", "abl_policies",
+             "one of {paper, lower-gain, coin-toss, full, negotiate-all, "
+             "best-local}",
+             "abl_policies variant axis: §4 turn / termination / proposal "
+             "policy combinations, one deviation from the paper protocol "
+             "per value.",
+             "paper,lower-gain,coin-toss,full,negotiate-all,best-local");
+  return registry;
+}
+
+}  // namespace
+
+const std::vector<SpecKeyInfo>& spec_key_registry() {
+  static const std::vector<SpecKeyInfo> registry = build_key_registry();
+  return registry;
+}
+
+const SpecKeyInfo* find_spec_key(const std::string& key) {
+  for (const SpecKeyInfo& info : spec_key_registry())
+    if (info.key == key) return &info;
+  return nullptr;
 }
 
 }  // namespace nexit::sim

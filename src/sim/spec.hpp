@@ -1,10 +1,13 @@
 #pragma once
 
 // The declarative scenario API. An ExperimentSpec is a flat, fully
-// serializable description of one experiment run: which engine (distance or
-// bandwidth), the universe, each side's objective (an OracleRegistry name,
-// optionally behind the cheating decorator), the negotiation policies, the
-// traffic/capacity/failure models, grouping, and threading. Specs layer:
+// serializable description of one experiment run: which engine (distance,
+// bandwidth, or the concurrent runtime), the universe, each side's
+// objective (an OracleRegistry name, optionally behind the cheating
+// decorator), the negotiation policies, the traffic/capacity/failure
+// models, grouping, threading — plus, for the runtime, the session
+// population and a declared timeline — plus any number of declared sweep
+// axes. Specs layer:
 //
 //   struct defaults  ->  ScenarioPreset tune()  ->  --spec=<file>  ->  flags
 //
@@ -14,7 +17,13 @@
 // through the same util::Flags machinery, so malformed values and unknown
 // keys die with the same exit-2 diagnostics as a typo'd flag. Every spec
 // serializes back to the full key=value list — the JSON record embeds it,
-// and parsing that list reproduces the spec bit-for-bit (round-trippable).
+// `--spec-out=<file>` archives it, and parsing that list reproduces the
+// spec bit-for-bit (round-trippable).
+//
+// Every key is registered with metadata (doc string, type, default, valid
+// choices/range, owning experiment kinds) in spec_key_registry();
+// `nexit_run --help-spec` and docs/SPEC_REFERENCE.md are generated from it,
+// so the reference documentation cannot drift from the parser.
 
 #include <cstdint>
 #include <iosfwd>
@@ -30,8 +39,114 @@
 
 namespace nexit::sim {
 
-/// Which experiment engine a spec drives.
-enum class ExperimentKind { kDistance, kBandwidth };
+/// Which engine a spec drives: the §5 distance or bandwidth experiment, or
+/// the concurrent negotiation runtime (src/runtime) with a declared
+/// timeline.
+enum class ExperimentKind { kDistance, kBandwidth, kRuntime };
+
+/// Bitmask of experiment kinds a spec key is meaningful for. validate()
+/// rejects an explicitly-set non-default key the chosen kind would silently
+/// ignore, and the generated reference docs print the mask per key.
+enum : unsigned {
+  kForDistance = 1u << 0,
+  kForBandwidth = 1u << 1,
+  kForRuntime = 1u << 2,
+  kForAllKinds = kForDistance | kForBandwidth | kForRuntime,
+};
+
+/// The kFor* bit of one kind.
+[[nodiscard]] unsigned kind_bit(ExperimentKind kind);
+
+/// One declared sweep axis: `sweep.<key>=v1,v2,...` or `sweep.<key>=
+/// lo:hi:step` (expanded to explicit values at parse time). Multiple axes
+/// form a cross product; the expansion order is canonical (axes sorted by
+/// key, rightmost varying fastest), so sweep digests are deterministic.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+
+  friend bool operator==(const SweepAxis&, const SweepAxis&) = default;
+};
+
+/// A runtime timeline event as declared in `runtime.events=` — the spec
+/// spelling of runtime::ScenarioEvent. Grammar, comma-separated:
+///
+///   start@<tick>/<session>          start the session at <tick> instead of
+///                                   its staggered default
+///   churn@<tick>/<session>/<seed>   replace the session's traffic matrix
+///                                   (reseeded by <seed>) and renegotiate
+///   fail@<tick>/<session>/<ix>      interconnection failure mid-session;
+///                                   <ix> is an index or `busiest`
+///   restart@<tick>/<session>        one peer crashes and reconnects
+struct RuntimeEventSpec {
+  enum class Kind : std::uint8_t { kStart, kFlowChurn, kLinkFailure, kPeerRestart };
+  static constexpr std::uint64_t kBusiest = ~std::uint64_t{0};
+
+  std::uint64_t at = 0;
+  Kind kind = Kind::kStart;
+  std::uint32_t session = 0;
+  std::uint64_t param = 0;
+
+  friend bool operator==(const RuntimeEventSpec&,
+                         const RuntimeEventSpec&) = default;
+};
+
+enum class RuntimeTransport : std::uint8_t { kMemory, kSocket };
+
+/// The `runtime.*` spec namespace: session population, transport, lifecycle
+/// limits, fault injection, and the declared timeline. Only meaningful for
+/// experiment=runtime (validate() enforces that, like every kind-specific
+/// key).
+struct RuntimeSpec {
+  /// Initial sessions; 0 = one per universe pair, larger counts cycle the
+  /// pairs with per-session traffic.
+  std::size_t sessions = 0;
+  RuntimeTransport transport = RuntimeTransport::kMemory;
+  /// Session i starts at tick i * stagger (start@ events override).
+  std::uint64_t stagger = 1;
+  /// Universe pairs need at least this many interconnections (failures need
+  /// survivors).
+  std::size_t min_links = 2;
+  /// Pump steps before a session yields its worker (0 = run to stall).
+  std::size_t burst = 0;
+  std::uint64_t handshake_deadline = 64;
+  std::uint64_t round_timeout = 32;
+  std::size_t max_attempts = 3;
+  std::uint64_t max_ticks = 1u << 20;
+  double drop = 0.0;
+  double corrupt = 0.0;
+  /// Sessions whose transport gets the fault injection (empty = all).
+  std::vector<std::uint32_t> fault_targets;
+  std::vector<RuntimeEventSpec> events;
+
+  friend bool operator==(const RuntimeSpec&, const RuntimeSpec&) = default;
+};
+
+/// Everything --help-spec and the generated reference know about one key
+/// (or sweep-only axis). `default_value` is derived from a
+/// default-constructed ExperimentSpec, and choice/range constraints from
+/// the same tables the parser uses — nothing here is hand-maintained twice.
+struct SpecKeyInfo {
+  std::string key;
+  std::string type;         // "choice", "count", "int", "double", "bool", ...
+  std::string doc;          // one line
+  std::string constraints;  // "one of {...}", "integer in [lo, hi]", or ""
+  std::string default_value;
+  unsigned kinds = kForAllKinds;
+  /// True for virtual axes that exist only as `sweep.<key>` (a preset maps
+  /// their values to config variants); they have no scalar value.
+  bool sweep_only = false;
+  /// For sweep-only axes: the scenario whose run function consumes them.
+  std::string owner_scenario;
+};
+
+/// Every registered spec key and sweep-only axis, in canonical (serialized)
+/// order. The single source for --help-spec, docs/SPEC_REFERENCE.md, and
+/// the kind-applicability checks in validate().
+const std::vector<SpecKeyInfo>& spec_key_registry();
+const SpecKeyInfo* find_spec_key(const std::string& key);
+/// "distance", "distance, bandwidth", "any", ... for a kinds mask.
+[[nodiscard]] std::string kinds_label(unsigned kinds);
 
 struct ExperimentSpec {
   // --- engine selection -----------------------------------------------
@@ -76,6 +191,15 @@ struct ExperimentSpec {
   std::size_t groups = 1;
   std::size_t threads = 1;
 
+  // --- runtime scenario (experiment=runtime only) -----------------------
+  RuntimeSpec runtime;
+
+  // --- declared sweep axes ----------------------------------------------
+  /// Sorted by key (canonical order). run_scenario expands the cross
+  /// product; presets may own an axis and iterate it inside their run
+  /// function instead (abl_pref_range owns `pref-range`, ...).
+  std::vector<SweepAxis> sweeps;
+
   /// Bookkeeping, not state: the keys an explicit source (flags or a spec
   /// file) set, as opposed to defaults and preset tunes. validate() uses it
   /// to reject a key the chosen experiment kind would silently ignore —
@@ -86,7 +210,9 @@ struct ExperimentSpec {
 
   /// Overlays every key present in `flags` onto this spec (absent keys keep
   /// their current values — the accessor fallbacks are the spec itself).
-  /// Malformed values and out-of-set choices exit 2 via util::Flags.
+  /// Malformed values and out-of-set choices exit 2 via util::Flags; so do
+  /// malformed `sweep.<key>` axes (unknown axis key, empty value list, bad
+  /// lo:hi:step range), naming the axis.
   void merge_from_flags(const util::Flags& flags);
 
   /// Loads a `key=value` spec file on top of this spec. Unknown keys, keys
@@ -95,7 +221,8 @@ struct ExperimentSpec {
   /// gives the command line.
   void merge_from_file(const std::string& path);
 
-  /// The full spec as (key, value) pairs in canonical order; parsing these
+  /// The full spec as (key, value) pairs in canonical order — scalar keys
+  /// first, then one `sweep.<key>` entry per declared axis; parsing these
   /// back (merge_from_flags over a kv-Flags) reproduces the spec exactly.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>>
   to_key_values() const;
@@ -104,20 +231,31 @@ struct ExperimentSpec {
   /// The serialized value of one key ("" for an unknown key).
   [[nodiscard]] std::string value_of(const std::string& key) const;
 
+  /// The declared axis for `key` (nullptr if not swept).
+  [[nodiscard]] const SweepAxis* axis(const std::string& key) const;
+
   /// Semantic checks beyond syntax: oracle names must be registered (or
   /// "default"), the distance engine only takes capacity-free oracles, the
-  /// universe must be able to yield pairs, and explicitly overridden keys
-  /// must be meaningful for the chosen experiment kind. Returns false and
-  /// sets *error on failure.
+  /// universe must be able to yield pairs, explicitly overridden keys must
+  /// be meaningful for the chosen experiment kind, and a declared timeline
+  /// must only reference sessions that will exist. Returns false and sets
+  /// *error on failure.
   [[nodiscard]] bool validate(std::string* error) const;
 
-  /// The objective with "default" resolved for this spec's experiment kind.
+  /// The objective with "default" resolved for this spec's experiment kind
+  /// (runtime sessions negotiate distance, like the initial sessions do).
   [[nodiscard]] core::OracleSpec resolved_objective(int side) const;
 
   /// Engine configs. Both require validate() to have passed; they assert
-  /// the experiment kind matches.
+  /// the experiment kind matches. (The runtime twin lives in
+  /// sim/scenarios.cpp — runtime_config_of — because the scenario layer,
+  /// not the spec data model, depends on src/runtime.)
   [[nodiscard]] DistanceExperimentConfig to_distance_config() const;
   [[nodiscard]] BandwidthExperimentConfig to_bandwidth_config() const;
+
+  /// The shared §4 negotiation-policy block of both engine configs and the
+  /// runtime scenario.
+  [[nodiscard]] core::NegotiationConfig to_negotiation_config() const;
 
   /// One-line human summary of the universe ("65 synthetic ISPs, seed 42,
   /// <= 120 pairs, PoPs 6-20") for bench headers.
@@ -135,5 +273,12 @@ struct ExperimentSpec {
 };
 
 [[nodiscard]] std::string to_string(ExperimentKind kind);
+
+/// The cross product of `axes` as per-point override lists, canonical
+/// order: axes as stored (sorted by key), rightmost axis varying fastest —
+/// the nested-loop order of `for v0 in axes[0]: ... for vN in axes[N]`.
+/// Deterministic, so per-point digests mix into a stable sweep digest.
+[[nodiscard]] std::vector<std::vector<std::pair<std::string, std::string>>>
+expand_sweep(const std::vector<SweepAxis>& axes);
 
 }  // namespace nexit::sim

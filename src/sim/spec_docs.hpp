@@ -1,0 +1,28 @@
+#pragma once
+
+// Generated spec documentation. Everything here renders the key metadata of
+// spec_key_registry() (plus the scenario registry for axis ownership) —
+// there is no hand-written key description anywhere: `nexit_run
+// --help-spec` prints the same facts the parser enforces, and
+// docs/SPEC_REFERENCE.md is the markdown mode's output checked in verbatim
+// (CI regenerates it and fails on drift).
+
+#include <iosfwd>
+#include <string>
+
+namespace nexit::sim {
+
+/// Human `--help-spec` listing: every key grouped by section, with type,
+/// default, applicability, and constraints, plus the sweep-axis and
+/// timeline grammars.
+void print_spec_help(std::ostream& os);
+
+/// One key in detail (`--help-spec=<key>`). Returns false (and prints
+/// nothing) for an unknown key.
+bool print_spec_key_help(std::ostream& os, const std::string& key);
+
+/// The full markdown reference (`--help-spec=markdown`), i.e. the exact
+/// content of docs/SPEC_REFERENCE.md.
+void print_spec_reference_markdown(std::ostream& os);
+
+}  // namespace nexit::sim

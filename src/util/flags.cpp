@@ -22,12 +22,17 @@ std::string error_context_suffix() {
 [[noreturn]] void die_bad_value(const std::string& name,
                                 const std::string& value,
                                 const char* expected) {
+  die_flag_value(name, value, expected);
+}
+
+}  // namespace
+
+void die_flag_value(const std::string& name, const std::string& value,
+                    const std::string& expected) {
   std::cerr << "error: flag --" << name << " expects " << expected
             << ", got \"" << value << "\"" << error_context_suffix() << "\n";
   std::exit(2);
 }
-
-}  // namespace
 
 FlagErrorContext::FlagErrorContext(std::string what) {
   g_flag_error_context = std::move(what);
@@ -144,6 +149,14 @@ std::vector<std::string> Flags::unknown() const {
 
 std::vector<std::string> Flags::queried() const {
   return {queried_.begin(), queried_.end()};
+}
+
+std::vector<std::string> Flags::names_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_)
+    if (name.rfind(prefix, 0) == 0) out.push_back(name);
+  return out;
 }
 
 std::size_t get_count(const Flags& flags, const std::string& name,

@@ -55,6 +55,13 @@ class Flags {
     return positional_;
   }
 
+  /// Names present on the command line that start with `prefix`, in sorted
+  /// order. Does NOT mark them queried — callers that accept an open family
+  /// of flags (`sweep.<key>=...`) enumerate first, then get_string() each
+  /// name they actually understand, so misspellings still reach unknown().
+  [[nodiscard]] std::vector<std::string> names_with_prefix(
+      const std::string& prefix) const;
+
   /// Flags given on the command line that no accessor has queried yet, in
   /// sorted order. Call after all get_*/has calls to catch misspellings.
   [[nodiscard]] std::vector<std::string> unknown() const;
@@ -70,6 +77,16 @@ class Flags {
   /// logically const but must be remembered for unknown().
   mutable std::set<std::string> queried_;
 };
+
+/// The fatal-diagnostic tail other flag-shaped parsers reuse so their
+/// errors read exactly like get_int/get_choice failures: prints
+/// `error: flag --<name> expects <expected>, got "<value>"` (plus the
+/// active FlagErrorContext, so spec-file values name their file) and exits
+/// 2. Callers honouring the --help contract must check help_requested()
+/// and fall back instead of calling this.
+[[noreturn]] void die_flag_value(const std::string& name,
+                                 const std::string& value,
+                                 const std::string& expected);
 
 /// Non-negative count flag bounded to [0, max_value]: out-of-range values
 /// exit 2 naming the flag (instead of wrapping around through a size_t

@@ -69,14 +69,21 @@ void JsonReport::config(const std::string& key, double value) {
 }
 
 void JsonReport::metric(const std::string& name, double value) {
-  metrics_.emplace_back(name, number(value));
+  sink().emplace_back(name, number(value));
 }
 void JsonReport::metric(const std::string& name, std::int64_t value) {
-  metrics_.emplace_back(name, std::to_string(value));
+  sink().emplace_back(name, std::to_string(value));
 }
 void JsonReport::metric(const std::string& name, const std::string& value) {
-  metrics_.emplace_back(name, quote(value));
+  sink().emplace_back(name, quote(value));
 }
+
+void JsonReport::begin_point(const std::string& label) {
+  points_.emplace_back(label, Entries{});
+  in_point_ = true;
+}
+
+void JsonReport::end_points() { in_point_ = false; }
 
 void JsonReport::metric_cdf(const std::string& name, const Cdf& cdf) {
   if (cdf.empty()) return;
@@ -101,7 +108,22 @@ void JsonReport::write() const {
   emit(out, config_);
   out << "},\n  \"metrics\": {";
   emit(out, metrics_);
-  out << "}\n}\n";
+  out << "}";
+  if (!points_.empty()) {
+    out << ",\n  \"points\": [";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {\"point\": "
+          << quote(points_[i].first) << ", \"metrics\": {";
+      const Entries& entries = points_[i].second;
+      for (std::size_t j = 0; j < entries.size(); ++j) {
+        out << (j == 0 ? "" : ", ") << quote(entries[j].first) << ": "
+            << entries[j].second;
+      }
+      out << "}}";
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
   out.flush();
   if (!out) {
     std::cerr << "error: --json: cannot write " << path_ << "\n";

@@ -44,6 +44,15 @@ class JsonReport {
   /// Five-point summary of a CDF under "<name>.{n,min,p25,p50,p75,max}".
   void metric_cdf(const std::string& name, const Cdf& cdf);
 
+  /// Sweep support: after begin_point(), metric*() calls land in a per-
+  /// point section of a top-level "points" array (`{"point": <label>,
+  /// "metrics": {...}}`) instead of the shared metrics map, until
+  /// end_points() returns routing to the top level. One record therefore
+  /// aggregates a whole sweep: shared spec + config, one metrics section
+  /// per expanded point, and the overall digest on top.
+  void begin_point(const std::string& label);
+  void end_points();
+
   /// Writes the file if a path was given; exits 2 on I/O failure (a
   /// requested-but-unwritable record should not fail silently).
   void write() const;
@@ -51,11 +60,19 @@ class JsonReport {
  private:
   using Entries = std::vector<std::pair<std::string, std::string>>;
 
+  /// The entry list metric*() currently appends to: the active point's, or
+  /// the top-level metrics map.
+  Entries& sink() {
+    return in_point_ ? points_.back().second : metrics_;
+  }
+
   std::string path_;
   std::string binary_;
   Entries spec_;
   Entries config_;
   Entries metrics_;
+  std::vector<std::pair<std::string, Entries>> points_;
+  bool in_point_ = false;
 };
 
 }  // namespace nexit::util

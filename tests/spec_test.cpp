@@ -298,7 +298,7 @@ TEST(SpecDeathTest, OutOfSetChoiceExitsListingTheChoices) {
   const char* argv[] = {"prog", "--experiment=bandwidht"};
   util::Flags flags(2, const_cast<char**>(argv));
   EXPECT_EXIT(s.merge_from_flags(flags), ::testing::ExitedWithCode(2),
-              "expects one of \\{distance, bandwidth\\}");
+              "expects one of \\{distance, bandwidth, runtime\\}");
 }
 
 // --- scenario presets ----------------------------------------------------
@@ -418,7 +418,10 @@ TEST(ScenarioRegistry, NamesAreUniqueAndFindable) {
        {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
         "table3", "abl_destination_based", "abl_flow_fraction",
         "abl_group_negotiation", "abl_ix_count", "abl_models", "abl_policies",
-        "abl_pref_range", "custom"}) {
+        "abl_pref_range", "custom",
+        // The spec-driven additions: declared-axis figures and the runtime
+        // timelines behind the same registry.
+        "fig4_sweep", "fig7_sweep", "runtime", "runtime_churn"}) {
     EXPECT_NE(find_scenario(required), nullptr) << required;
   }
 }

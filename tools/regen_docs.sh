@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every doc that is derived from the code:
+#   - docs/SPEC_REFERENCE.md   from the spec-key metadata registry
+#   - README.md scenario table from the scenario registry
+#
+#   tools/regen_docs.sh [build-dir]     (default: build)
+#
+# CI runs this and fails on `git diff`, so neither can drift from the
+# registries they document.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+
+"$build/nexit_run" --help-spec=markdown > docs/SPEC_REFERENCE.md
+"$build/nexit_run" --list-scenarios=tsv | python3 tools/update_readme_catalog.py README.md
+echo "regenerated docs/SPEC_REFERENCE.md and the README scenario catalog"
