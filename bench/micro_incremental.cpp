@@ -133,6 +133,8 @@ int main(int argc, char** argv) {
           const auto t0 = Clock::now();
           core::NegotiationEngine engine(problem, a, b, ncfg);
           const core::NegotiationOutcome out = engine.run();
+          // nexit-lint: allow(float-accumulate): wall-clock total; timing is
+          // reported, never digested
           stats.wall_ms += ms_since(t0);
           if (rep == 0) {
             digest[mode] = outcome_digest(out);

@@ -69,8 +69,11 @@ int main(int argc, char** argv) {
   double def_km = 0, neg_km = 0;
   for (std::size_t idx : problem.negotiable) {
     const auto& f = tm.flows()[idx];
+    // nexit-lint: allow(float-accumulate): negotiable-flow order, the
+    // canonical km-summation order (matches metrics::side_flow_km)
     def_km += f.size *
               routing.km_in_side(f, problem.default_assignment.ix_of_flow[idx], 1);
+    // nexit-lint: allow(float-accumulate): same canonical order
     neg_km +=
         f.size * routing.km_in_side(f, outcome.assignment.ix_of_flow[idx], 1);
   }

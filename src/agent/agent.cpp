@@ -277,6 +277,8 @@ void NegotiationAgent::apply_accept(std::size_t pos, std::size_t ci) {
   ++outcome_.flows_negotiated;
   if (ix != problem_.default_ix(pos)) ++outcome_.flows_moved;
   for (std::size_t flow_index : problem_.members_of(pos))
+    // nexit-lint: allow(float-accumulate): member order mirrors the engine's
+    // quantum accumulation — both sides must drift identically
     volume_since_reassign_ += (*problem_.flows)[flow_index].size;
 }
 

@@ -282,6 +282,8 @@ NegotiationOutcome NegotiationEngine::run() {
       ++outcome.flows_negotiated;
       if (ix != problem_.default_ix(sel.pos)) ++outcome.flows_moved;
       for (std::size_t flow_index : problem_.members_of(sel.pos))
+        // nexit-lint: allow(float-accumulate): member order mirrors the wire
+        // agent's quantum accumulation — both sides must drift identically
         volume_since_reassign += (*problem_.flows)[flow_index].size;
 
       if (reassign_enabled && remaining_count > 0 &&

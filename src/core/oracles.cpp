@@ -351,6 +351,8 @@ std::vector<double> PiecewiseCostOracle::compute_row(
     double cost = 0.0;
     for (graph::EdgeIndex e : path) {
       const auto idx = static_cast<std::size_t>(e);
+      // nexit-lint: allow(float-accumulate): summed in path-edge order, the
+      // same order both full and incremental evaluation walk
       cost += metrics::piecewise_linear_cost({without[idx] + size}, {caps[idx]}) -
               metrics::piecewise_linear_cost({without[idx]}, {caps[idx]});
     }

@@ -17,6 +17,8 @@ std::size_t NegotiationProblem::default_candidate(std::size_t pos) const {
 double NegotiationProblem::negotiable_volume() const {
   double v = 0.0;
   for (std::size_t pos = 0; pos < negotiable.size(); ++pos)
+    // nexit-lint: allow(float-accumulate): negotiable-position order is the
+    // canonical volume order, shared with the engine's reassignment quantum
     for (std::size_t m : members_of(pos)) v += (*flows)[m].size;
   return v;
 }

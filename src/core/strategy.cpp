@@ -170,6 +170,8 @@ Projection project_future(const StrategyView& view, bool my_turn_first,
   for (const Item& it : items) {
     double v = mine ? it.own_if_mine : it.own_if_remote;
     if (floor_remote_at_zero && !mine) v = std::max(v, 0.0);
+    // nexit-lint: allow(float-accumulate): running prefix of the alternating
+    // projection — inherently sequential, order IS the semantics
     run += v;
     p.peak = std::max(p.peak, run);
     mine = !mine;

@@ -157,6 +157,8 @@ CityDb::CityDb(std::vector<City> cities) : cities_(std::move(cities)) {
   for (const auto& c : cities_) {
     if (c.population_millions <= 0.0)
       throw std::invalid_argument("CityDb: non-positive population for " + c.name);
+    // nexit-lint: allow(float-accumulate): one-shot ctor sum in the fixed
+    // city-list order; the list never changes after construction
     total_population_ += c.population_millions;
   }
 }

@@ -315,6 +315,8 @@ Solution SimplexSolver::solve(const LpProblem& problem) const {
   sol.x = t.extract_solution();
   double obj = 0.0;
   for (int j = 0; j < problem.num_vars(); ++j)
+    // nexit-lint: allow(float-accumulate): objective dot-product in LP
+    // variable order, the solver's canonical column order
     obj += problem.objective()[static_cast<std::size_t>(j)] *
            sol.x[static_cast<std::size_t>(j)];
   sol.objective = obj;

@@ -112,6 +112,8 @@ MinMaxLoadResult solve_min_max_load(const routing::PairRouting& routing,
       const double v = sol.x[static_cast<std::size_t>(var_of(fi, ci))];
       if (v > 1e-9) {
         shares.push_back({candidates[ci], v});
+        // nexit-lint: allow(float-accumulate): summed in candidate order to
+        // normalise the solver's own shares; order fixed by the LP columns
         total += v;
       }
     }

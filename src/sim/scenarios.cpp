@@ -547,7 +547,7 @@ int run_fig10(ScenarioContext& ctx) {
   std::cout << "samples: " << hs.size() << " ISP pairs (x2 runs)\n";
 
   util::Cdf total_honest, total_cheat, indiv_honest, cheater_gain, truthful_gain;
-  double mean_cheater = 0, mean_cheater_honest = 0;
+  std::vector<double> cheater_pcts, cheater_honest_pcts;
   std::size_t truthful_losses = 0;
   // Today both runs yield one sample per pair so the sizes always match;
   // the min() keeps this loop safe (like fig11's) if the distance engine
@@ -560,13 +560,14 @@ int run_fig10(ScenarioContext& ctx) {
       indiv_honest.add(hs[i].side_gain_pct(hs[i].negotiated_side_km, side));
     cheater_gain.add(cs[i].side_gain_pct(cs[i].negotiated_side_km, 0));
     truthful_gain.add(cs[i].side_gain_pct(cs[i].negotiated_side_km, 1));
-    mean_cheater += cs[i].side_gain_pct(cs[i].negotiated_side_km, 0);
-    mean_cheater_honest += hs[i].side_gain_pct(hs[i].negotiated_side_km, 0);
+    cheater_pcts.push_back(cs[i].side_gain_pct(cs[i].negotiated_side_km, 0));
+    cheater_honest_pcts.push_back(
+        hs[i].side_gain_pct(hs[i].negotiated_side_km, 0));
     if (cs[i].side_gain_pct(cs[i].negotiated_side_km, 1) < -0.5)
       ++truthful_losses;
   }
-  mean_cheater /= static_cast<double>(n10);
-  mean_cheater_honest /= static_cast<double>(n10);
+  const double mean_cheater = util::mean(cheater_pcts);
+  const double mean_cheater_honest = util::mean(cheater_honest_pcts);
 
   print_cdf_figure("Fig 10a", "total gain across both ISPs",
                    "% reduction in total flow km vs default",
@@ -685,7 +686,7 @@ class TableOracle : public core::PreferenceOracle {
 
  private:
   std::vector<core::PreferenceList> phases_;
-  bool reassign_;
+  bool reassign_ = false;
   std::size_t calls_ = 0;
 };
 
@@ -944,6 +945,8 @@ int run_abl_flow_fraction(ScenarioContext& ctx) {
   for (const auto& s : samples) {
     total_flows += s.flow_count;
     moved_flows += s.flows_moved;
+    // nexit-lint: allow(float-accumulate): summed in sample order, the
+    // canonical order of run_distance_experiment's output
     total_gain_km += s.default_km - s.negotiated_km;
     for (double km : s.flow_saving_km_negotiated)
       if (km > 1e-9) savings.push_back(km);
@@ -955,15 +958,16 @@ int run_abl_flow_fraction(ScenarioContext& ctx) {
   std::cout << "samples: " << samples.size() << " pairs, " << total_flows
             << " flows; moved " << moved_flows << " (" << frac_moved << "%)\n";
 
-  double sum = 0.0;
-  for (double v : savings) sum += v;
+  const double total_saved = util::sum(savings);
   std::cout << "\n  top-moved-flows%   share-of-total-gain%\n";
   double share_at_20 = 0.0;
   for (double pct : {1.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
     const auto k = static_cast<std::size_t>(savings.size() * pct / 100.0);
     double acc = 0.0;
+    // nexit-lint: allow(float-accumulate): prefix sum of the descending
+    // sort — the top-k share is defined by exactly this order
     for (std::size_t i = 0; i < k && i < savings.size(); ++i) acc += savings[i];
-    const double share = sum > 0 ? 100.0 * acc / sum : 0.0;
+    const double share = total_saved > 0 ? 100.0 * acc / total_saved : 0.0;
     std::printf("  %15.1f   %20.2f\n", pct, share);
     if (pct == 20.0) share_at_20 = share;
   }
@@ -1006,12 +1010,12 @@ int run_abl_group_negotiation(ScenarioContext& ctx) {
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
     util::Cdf neg;
-    double mean = 0.0;
+    std::vector<double> gains;
     for (const auto& s : samples) {
       neg.add(s.total_gain_pct(s.negotiated_km));
-      mean += s.total_gain_pct(s.negotiated_km);
+      gains.push_back(s.total_gain_pct(s.negotiated_km));
     }
-    mean /= static_cast<double>(samples.size());
+    const double mean = util::mean(gains);
     std::printf("  %6zu   %16.3f   %18.3f\n", k, mean, neg.value_at(0.5));
     if (k == 1) gain_at_1 = mean, have_1 = true;
     if (k == 64) gain_at_64 = mean, have_64 = true;
@@ -1081,9 +1085,9 @@ int run_abl_ix_count(ScenarioContext& ctx) {
 /// axis (which variants run, in what order) is spec data; the mapping from
 /// variant name to config tweak is figure semantics and stays here.
 struct ModelVariant {
-  const char* name;   // the sweep.model axis value
-  const char* label;  // the printed table row
-  void (*tweak)(BandwidthExperimentConfig&);
+  const char* name = nullptr;   // the sweep.model axis value
+  const char* label = nullptr;  // the printed table row
+  void (*tweak)(BandwidthExperimentConfig&) = nullptr;
 };
 
 constexpr ModelVariant kModelVariants[] = {
@@ -1191,11 +1195,11 @@ int run_abl_models(ScenarioContext& ctx) {
 /// model axis, the names/order are spec data, the name -> policy-tuple
 /// mapping is figure semantics.
 struct PolicyVariant {
-  const char* name;   // the sweep.policy axis value
-  const char* label;  // the printed table row
-  core::TurnPolicy turn;
-  core::TerminationPolicy termination;
-  core::ProposalPolicy proposal;
+  const char* name = nullptr;   // the sweep.policy axis value
+  const char* label = nullptr;  // the printed table row
+  core::TurnPolicy turn = core::TurnPolicy::kAlternate;
+  core::TerminationPolicy termination = core::TerminationPolicy::kEarly;
+  core::ProposalPolicy proposal = core::ProposalPolicy::kMaxCombinedGain;
 };
 
 constexpr PolicyVariant kPolicyVariants[] = {
@@ -1246,16 +1250,16 @@ int run_abl_policies(ScenarioContext& ctx) {
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
     util::Cdf gain;
-    double mean = 0.0, imbalance = 0.0;
+    std::vector<double> gains, gaps;
     for (const auto& s : samples) {
       gain.add(s.total_gain_pct(s.negotiated_km));
-      mean += s.total_gain_pct(s.negotiated_km);
+      gains.push_back(s.total_gain_pct(s.negotiated_km));
       const double ga = s.default_side_km[0] - s.negotiated_side_km[0];
       const double gb = s.default_side_km[1] - s.negotiated_side_km[1];
-      imbalance += std::abs(ga - gb);
+      gaps.push_back(std::abs(ga - gb));
     }
-    mean /= static_cast<double>(samples.size());
-    imbalance /= static_cast<double>(samples.size());
+    const double mean = util::mean(gains);
+    const double imbalance = util::mean(gaps);
     std::printf("  %-40s   %9.3f   %11.3f   %18.1f\n", v->label, mean,
                 gain.value_at(0.5), imbalance);
     if (value == "lower-gain") fair_imbalance = imbalance;
@@ -1297,13 +1301,13 @@ int run_abl_pref_range(ScenarioContext& ctx) {
     if (samples.empty()) return no_samples();
     ctx.mix(samples);
     util::Cdf neg, opt;
-    double mean = 0.0;
+    std::vector<double> gains;
     for (const auto& s : samples) {
       neg.add(s.total_gain_pct(s.negotiated_km));
       opt.add(s.total_gain_pct(s.optimal_km));
-      mean += s.total_gain_pct(s.negotiated_km);
+      gains.push_back(s.total_gain_pct(s.negotiated_km));
     }
-    mean /= static_cast<double>(samples.size());
+    const double mean = util::mean(gains);
     std::printf("  %2d   %18.3f   %16.3f   %15.3f\n", p, neg.value_at(0.5),
                 mean, opt.value_at(0.5));
     if (p == 10) median_at_10 = neg.value_at(0.5), have_10 = true;

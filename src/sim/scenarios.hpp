@@ -56,9 +56,9 @@ struct ScenarioContext {
 };
 
 struct ScenarioPreset {
-  const char* name;           // "fig9", "abl_models", "custom", ...
-  const char* legacy_binary;  // pre-redesign binary name; "-" if none
-  const char* description;    // one line for --list-scenarios
+  const char* name = nullptr;           // "fig9", "abl_models", "custom", ...
+  const char* legacy_binary = nullptr;  // pre-redesign binary name; "-" if none
+  const char* description = nullptr;    // one line for --list-scenarios
   /// Figure-specific spec defaults, applied before --spec/flag overrides.
   void (*tune)(ExperimentSpec&);
   /// Runs the engines and reports; returns the process exit code.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/stats.hpp"
+
 namespace nexit::topology {
 
 TopologyGenerator::TopologyGenerator(const geo::CityDb& db, GeneratorConfig config)
@@ -45,8 +47,7 @@ std::vector<std::size_t> TopologyGenerator::sample_cities(std::size_t count,
   std::vector<std::size_t> chosen;
   chosen.reserve(count);
   for (std::size_t k = 0; k < count; ++k) {
-    double total = 0.0;
-    for (double w : weights) total += w;
+    const double total = util::sum(weights);
     double r = rng.next_double() * total;
     std::size_t pick = 0;
     for (std::size_t i = 0; i < candidates.size(); ++i) {

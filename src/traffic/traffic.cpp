@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/stats.hpp"
+
 namespace nexit::traffic {
 
 namespace {
@@ -33,6 +35,8 @@ std::vector<double> pop_weights(const topology::IspTopology& isp,
 }  // namespace
 
 TrafficMatrix::TrafficMatrix(std::vector<Flow> flows) : flows_(std::move(flows)) {
+  // nexit-lint: allow(float-accumulate): flow-index order is the repo's
+  // canonical volume-summation order (matches routing::loads)
   for (const auto& f : flows_) total_volume_ += f.size;
 }
 
@@ -50,16 +54,14 @@ void TrafficMatrix::append_direction(const topology::IspPair& pair,
 
   // Gravity: size(u, v) ~ weight(u) * weight(v), then normalise so the
   // direction sums to total_volume_per_direction.
-  double total = 0.0;
   std::vector<double> raw;
   raw.reserve(up.pop_count() * down.pop_count());
   for (std::size_t i = 0; i < up.pop_count(); ++i) {
     for (std::size_t j = 0; j < down.pop_count(); ++j) {
-      const double s = wu[i] * wd[j];
-      raw.push_back(s);
-      total += s;
+      raw.push_back(wu[i] * wd[j]);
     }
   }
+  const double total = util::sum(raw);
   if (total <= 0.0) throw std::logic_error("TrafficMatrix: zero total weight");
 
   const double scale = config.total_volume_per_direction / total;

@@ -8,11 +8,15 @@
 
 namespace nexit::util {
 
+double sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
 double mean(const std::vector<double>& xs) {
   if (xs.empty()) throw std::invalid_argument("mean: empty sample");
-  double sum = 0.0;
-  for (double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
+  return sum(xs) / static_cast<double>(xs.size());
 }
 
 double stddev(const std::vector<double>& xs) {

@@ -6,7 +6,13 @@
 
 namespace nexit::util {
 
-/// Mean of a non-empty sample.
+/// Left-to-right sum of a sample. This is the canonical accumulation
+/// order of the repo: FP addition is non-associative, so routing every
+/// reduction through one helper keeps digests bit-identical across code
+/// paths (the determinism lint flags ad-hoc `+=` loops).
+double sum(const std::vector<double>& xs);
+
+/// Mean of a non-empty sample (sum(xs) / size).
 double mean(const std::vector<double>& xs);
 
 /// Population standard deviation (0 for samples of size < 2).

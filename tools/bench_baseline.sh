@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Emit the benchmark baseline (BENCH_<n>.json): one JSON file aggregating
+# the three perf-relevant benches at fixed parameters, so the trajectory of
+# wall-clock and work counters is recorded PR over PR (ROADMAP asks for a
+# BENCH_*.json per growth step). Digests are included so a baseline also
+# witnesses the determinism contract at the recorded parameters; wall-clock
+# numbers are machine-dependent and are NOT comparable across hosts.
+#
+#   tools/bench_baseline.sh <build-dir> <out.json>
+#
+# CI regenerates the file on every run and archives it as an artifact; the
+# checked-in copy is the reference point from the PR that introduced it.
+set -euo pipefail
+
+build=${1:?usage: bench_baseline.sh <build-dir> <out.json>}
+out=${2:?usage: bench_baseline.sh <build-dir> <out.json>}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Fixed parameters: big enough that the counters are meaningful, small
+# enough for a CI smoke lane. Changing them invalidates comparisons, so
+# bump the baseline filename's PR number when you do.
+"$build/micro_incremental" --isps=16 --pairs=6 --repeat=3 --moves=2000 \
+  --json="$tmp/micro_incremental.json" > /dev/null
+"$build/nexit_run" --scenario=fig7 --isps=16 --pairs=6 --threads=2 \
+  --json="$tmp/fig7.json" > /dev/null
+"$build/runtime_throughput" --sessions=128 --threads=2 \
+  --json="$tmp/runtime_throughput.json" > /dev/null
+
+python3 - "$tmp" "$out" <<'EOF'
+import json, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+benches = {}
+for name in ("micro_incremental", "fig7", "runtime_throughput"):
+    with open(f"{tmp}/{name}.json") as f:
+        benches[name] = json.load(f)
+
+baseline = {
+    "schema": "nexit-bench-baseline-v1",
+    "generated_by": "tools/bench_baseline.sh",
+    "benches": benches,
+}
+with open(out, "w") as f:
+    json.dump(baseline, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+mi = benches["micro_incremental"]["metrics"]
+f7 = benches["fig7"]["metrics"]
+rt = benches["runtime_throughput"]["metrics"]
+print(f"  micro_incremental: incremental {mi['wall_ms_incremental']:.1f}ms"
+      f" vs full {mi['wall_ms_full']:.1f}ms (speedup {mi['speedup']:.2f}x,"
+      f" digest_match={mi['digest_match']})")
+print(f"  fig7: {f7['wall_ms']:.1f}ms digest={f7['digest']}"
+      f" row_fraction={f7['eval_row_fraction']:.4f}")
+print(f"  runtime_throughput: {rt['sessions_per_second']:.1f} sessions/s,"
+      f" {rt['messages_per_second']:.0f} msgs/s")
+EOF

@@ -1,0 +1,151 @@
+// determinism_lint — scans src/, bench/, and examples/ for code patterns
+// that break the repo's bit-identity contract (see lint_core.hpp for the
+// rules and the allow-annotation grammar). Run as a CTest test (label
+// `lint`) and as a CI gate:
+//
+//   determinism_lint [--root=DIR] [--show-allowed] [files...]
+//   determinism_lint --list-rules[=markdown]
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 usage error.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void print_rules_text() {
+  std::cout << "determinism_lint rules (suppress with "
+               "`// nexit-lint: allow(<rule>): <reason>`):\n\n";
+  for (const auto& r : nexit::lint::rule_table()) {
+    std::cout << "  " << r.name << "\n    flags: " << r.summary
+              << "\n    why:   " << r.rationale << "\n\n";
+  }
+}
+
+void print_rules_markdown() {
+  std::cout << "| Rule | What it flags | Why it is a hazard |\n"
+            << "| --- | --- | --- |\n";
+  for (const auto& r : nexit::lint::rule_table()) {
+    std::cout << "| `" << r.name << "` | " << r.summary << " | " << r.rationale
+              << " |\n";
+  }
+}
+
+/// Repo-relative label when the file is under root, else the path as-is.
+std::string label_of(const fs::path& file, const fs::path& root) {
+  const std::string f = file.lexically_normal().generic_string();
+  const std::string r = root.lexically_normal().generic_string();
+  if (f.size() > r.size() + 1 && f.compare(0, r.size(), r) == 0 &&
+      f[r.size()] == '/')
+    return f.substr(r.size() + 1);
+  return f;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool show_allowed = false;
+  std::vector<fs::path> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      print_rules_text();
+      return 0;
+    }
+    if (arg == "--list-rules=markdown") {
+      print_rules_markdown();
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--show-allowed") {
+      show_allowed = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "determinism_lint: unknown flag " << arg
+                << " (flags: --root=DIR --list-rules[=markdown] "
+                   "--show-allowed)\n";
+      return 2;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  if (files.empty()) {
+    for (const char* dir : {"src", "bench", "examples"}) {
+      const fs::path d = root / dir;
+      if (!fs::exists(d)) continue;
+      for (const auto& entry : fs::recursive_directory_iterator(d)) {
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path());
+      }
+    }
+    if (files.empty()) {
+      std::cerr << "determinism_lint: nothing to scan under "
+                << root.generic_string() << " (src/, bench/, examples/)\n";
+      return 2;
+    }
+  }
+  // Deterministic scan order, of course.
+  std::sort(files.begin(), files.end(),
+            [&](const fs::path& a, const fs::path& b) {
+              return label_of(a, root) < label_of(b, root);
+            });
+
+  std::size_t reported = 0, suppressed = 0;
+  for (const fs::path& file : files) {
+    if (!fs::exists(file)) {
+      std::cerr << "determinism_lint: no such file: " << file.generic_string()
+                << "\n";
+      return 2;
+    }
+    std::string sibling;
+    if (file.extension() == ".cpp" || file.extension() == ".cc") {
+      fs::path hdr = file;
+      hdr.replace_extension(".hpp");
+      if (fs::exists(hdr)) sibling = read_file(hdr);
+    }
+    const std::string label = label_of(file, root);
+    for (const auto& f :
+         nexit::lint::lint_source(label, read_file(file), sibling)) {
+      if (f.suppressed) {
+        ++suppressed;
+        if (show_allowed) {
+          std::cout << f.file << ":" << f.line << ": [allowed " << f.rule
+                    << "] " << f.allow_reason << "\n";
+        }
+        continue;
+      }
+      ++reported;
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    }
+  }
+
+  std::cout << "determinism_lint: " << files.size() << " files, " << reported
+            << " finding" << (reported == 1 ? "" : "s") << ", " << suppressed
+            << " allowed by annotation\n";
+  return reported == 0 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+// Fixture: annotation meta-rules. Suppressions are audited: unknown rule
+// names and missing reasons are bad-allow, annotations that cover nothing
+// are stale-allow. (`HIT-NEXT` anchors an expected finding to the line
+// after the marker, for findings whose own line cannot hold a trailing
+// comment.)
+#include <vector>
+
+// nexit-lint: allow(made-up-rule): no such rule exists  // HIT: bad-allow
+int f(int x) { return x + 1; }
+
+// HIT-NEXT: bad-allow
+// nexit-lint: allow(raw-entropy):
+int g(int x) { return x + 2; }
+
+// HIT-NEXT: bad-allow
+// nexit-lint: allow(stale-allow): meta rules are not suppressible
+int h(int x) { return x + 3; }
+
+// nexit-lint: allow(raw-entropy): nothing below uses entropy  // HIT: stale-allow
+int k(int x) { return x + 4; }

@@ -1,0 +1,10 @@
+// Fixture: float-accumulate finding covered by an allow() annotation.
+#include <vector>
+
+double weighted(const std::vector<double>& xs, const std::vector<double>& ws) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i] * ws[i];  // nexit-lint: allow(float-accumulate): index order is the canonical order here
+  }
+  return acc;
+}

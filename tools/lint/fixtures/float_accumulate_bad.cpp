@@ -1,0 +1,26 @@
+// Fixture: float-accumulate positives.
+#include <cstddef>
+#include <vector>
+
+double total_weight(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;  // HIT: float-accumulate
+  return total;
+}
+
+struct Meter {
+  double reading_ = 0.0;
+
+  void absorb(const std::vector<double>& samples) {
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      reading_ += samples[i];  // HIT: float-accumulate
+    }
+  }
+};
+
+float drain(float level, float rate) {
+  while (level > 0.0f) {
+    level += -rate;  // HIT: float-accumulate
+  }
+  return level;
+}

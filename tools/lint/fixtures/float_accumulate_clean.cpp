@@ -1,0 +1,32 @@
+// Fixture: patterns the float-accumulate rule must NOT flag.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Integer reductions are associative: order cannot change the result.
+std::uint64_t total_count(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t total = 0;
+  for (std::uint64_t x : xs) total += x;
+  return total;
+}
+
+// String building is order-sensitive but not a floating-point reduction.
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) out += p;
+  return out;
+}
+
+// Float += outside any loop.
+double bump(double base, double delta) {
+  base += delta;
+  return base;
+}
+
+// Indexed-element accumulation targets a container slot, not a scalar
+// accumulator (the loads helpers own that pattern).
+void spread(std::vector<double>& bins, double amount) {
+  for (std::size_t i = 0; i < bins.size(); ++i) {
+    bins[i] += amount;
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: pointer-sort finding covered by an allow() annotation.
+#include <algorithm>
+#include <vector>
+
+struct Arena {
+  int id = 0;
+};
+
+void sort_arena_blocks(std::vector<Arena*>& blocks) {
+  // nexit-lint: allow(pointer-sort): blocks come from one arena, address order is allocation order
+  std::sort(blocks.begin(), blocks.end());
+}

@@ -1,0 +1,23 @@
+// Fixture: pointer-sort positives. Findings anchor to the line of the
+// sort call itself.
+#include <algorithm>
+#include <vector>
+
+struct Item {
+  int id = 0;
+  double score = 0.0;
+};
+
+void sort_pointers_no_comparator(std::vector<Item*>& items) {
+  std::sort(items.begin(), items.end());  // HIT: pointer-sort
+}
+
+void sort_by_pointer_value(std::vector<Item*>& items) {
+  std::sort(items.begin(), items.end(),  // HIT: pointer-sort
+            [](const Item* a, const Item* b) { return a < b; });
+}
+
+void sort_by_address(std::vector<Item>& values) {
+  std::stable_sort(values.begin(), values.end(),  // HIT: pointer-sort
+                   [](const Item& a, const Item& b) { return &a < &b; });
+}

@@ -1,0 +1,26 @@
+// Fixture: patterns the pointer-sort rule must NOT flag.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Item {
+  std::uint32_t id = 0;
+  double score = 0.0;
+};
+
+// Pointer parameters compared through a value key are deterministic.
+void sort_pointers_by_id(std::vector<Item*>& items) {
+  std::sort(items.begin(), items.end(),
+            [](const Item* a, const Item* b) { return a->id < b->id; });
+}
+
+// Value containers sorted without a comparator use operator< on values.
+void sort_values(std::vector<std::uint32_t>& ids) {
+  std::sort(ids.begin(), ids.end());
+}
+
+// Value comparator on references.
+void sort_by_score(std::vector<Item>& items) {
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.score < b.score; });
+}

@@ -1,0 +1,7 @@
+// Fixture: raw-entropy findings covered by allow() annotations.
+#include <ctime>
+
+long boot_stamp() {
+  // nexit-lint: allow(raw-entropy): log header only, never reaches a digest
+  return std::time(nullptr);
+}

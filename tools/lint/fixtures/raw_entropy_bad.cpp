@@ -1,0 +1,26 @@
+// Fixture: raw-entropy positives.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <vector>
+
+int jitter() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // HIT: raw-entropy
+  return std::rand();                                     // HIT: raw-entropy
+}
+
+std::mt19937 hardware_seeded() {
+  std::random_device rd;  // HIT: raw-entropy
+  return std::mt19937(rd());
+}
+
+long wall_stamp() {
+  using WallClock = std::chrono::system_clock;  // HIT: raw-entropy
+  return WallClock::now().time_since_epoch().count();
+}
+
+void mix(std::vector<int>& v, std::mt19937& g) {
+  std::shuffle(v.begin(), v.end(), g);  // HIT: raw-entropy
+}

@@ -1,0 +1,13 @@
+// Fixture: uninitialized builtin members in a file with no digest
+// machinery anywhere near it — outside the uninit-pod-digest rule's scope.
+#include <cstdint>
+
+struct ScratchCursor {
+  std::uint64_t offset;
+  int column;
+};
+
+inline void advance(ScratchCursor& c) {
+  ++c.offset;
+  ++c.column;
+}

@@ -1,0 +1,19 @@
+// Fixture: uninit-pod-digest positives. The file is digest-adjacent (it
+// includes util/digest.hpp and folds struct state into a digest), so every
+// builtin-typed member needs a deterministic initial value.
+#include <cstdint>
+
+#include "util/digest.hpp"
+
+struct Outcome {
+  std::uint64_t rounds;  // HIT: uninit-pod-digest
+  double gain_km;        // HIT: uninit-pod-digest
+  int settled = 0;
+};
+
+inline std::uint64_t outcome_digest(const Outcome& o) {
+  std::uint64_t h = nexit::util::kFnvOffsetBasis;
+  h = nexit::util::fnv1a_mix(h, o.rounds);
+  h = nexit::util::fnv1a_mix(h, nexit::util::double_bits(o.gain_km));
+  return h;
+}

@@ -1,0 +1,28 @@
+// Fixture: patterns the uninit-pod-digest rule must NOT flag.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/digest.hpp"
+
+// Every builtin member initialized (assignment or brace form).
+struct Sample {
+  std::uint64_t id = 0;
+  double value{0.0};
+  bool valid = false;
+};
+
+// Non-builtin members default-construct deterministically on their own.
+struct Report {
+  std::string label;
+  std::vector<double> series;
+  std::uint32_t version = 1;
+};
+
+// Member functions and static constants are not member state.
+struct Folder {
+  static constexpr std::uint64_t kSeed = 17;
+  [[nodiscard]] std::uint64_t fold(double x) const {
+    return nexit::util::fnv1a_mix(kSeed, nexit::util::double_bits(x));
+  }
+};

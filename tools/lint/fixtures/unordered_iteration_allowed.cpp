@@ -1,0 +1,20 @@
+// Fixture: unordered-iteration findings covered by allow() annotations —
+// the lint must report nothing unsuppressed.
+#include <string>
+#include <unordered_map>
+
+std::string join_names(const std::unordered_map<int, std::string>& names) {
+  std::string out;
+  // nexit-lint: allow(unordered-iteration): output is re-sorted by the caller
+  for (const auto& [id, name] : names) {
+    out += name;
+    (void)id;
+  }
+  return out;
+}
+
+std::size_t count_entries(const std::unordered_map<int, std::string>& names) {
+  std::size_t n = 0;
+  for (const auto& kv : names) n += kv.second.size();  // nexit-lint: allow(unordered-iteration): commutative integer sum
+  return n;
+}

@@ -1,0 +1,20 @@
+// Fixture: unordered-iteration positives. Lines carrying a marker comment are
+// the findings the lint must report (lint_test cross-checks the marker set
+// against the lint output).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::string join_names(const std::unordered_map<int, std::string>& names) {
+  std::string out;
+  for (const auto& [id, name] : names) {  // HIT: unordered-iteration
+    out += name;
+    (void)id;
+  }
+  return out;
+}
+
+void collect(const std::unordered_set<int>& ids, std::vector<int>& sink) {
+  for (int id : ids) sink.push_back(id);  // HIT: unordered-iteration
+}

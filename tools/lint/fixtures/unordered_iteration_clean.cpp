@@ -1,0 +1,30 @@
+// Fixture: patterns the unordered-iteration rule must NOT flag.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// Ordered map: iteration order is deterministic.
+std::string join_sorted(const std::map<int, std::string>& names) {
+  std::string out;
+  for (const auto& [id, name] : names) {
+    out += name;
+    (void)id;
+  }
+  return out;
+}
+
+// Unordered iteration with no accumulator/output sink (pure lookup).
+bool any_positive(const std::unordered_map<int, int>& scores) {
+  for (const auto& kv : scores)
+    if (kv.second > 0) return true;
+  return false;
+}
+
+// Iterating a vector that merely lives near an unordered_map.
+int sum_vector(const std::vector<int>& xs,
+               const std::unordered_map<int, int>& lookup) {
+  int total = 0;
+  for (int x : xs) total += lookup.count(x) != 0 ? x : 0;
+  return total;
+}

@@ -1,0 +1,250 @@
+// Tests for the determinism lint: every rule is proven by a fixture it
+// flags (tools/lint/fixtures/*_bad.cpp), every allow() annotation fixture
+// suppresses cleanly (*_allowed.cpp), and every near-miss stays unflagged
+// (*_clean.cpp). Expected findings are written in the fixtures themselves
+// as `// HIT: <rule>` (same line) / `// HIT-NEXT: <rule>` (next line)
+// markers, so fixture and expectation cannot drift apart.
+
+#include "lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using nexit::lint::Finding;
+using nexit::lint::lint_source;
+
+namespace {
+
+#ifndef LINT_FIXTURE_DIR
+#error "build must define LINT_FIXTURE_DIR"
+#endif
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+fs::path fixture_dir() { return fs::path(LINT_FIXTURE_DIR); }
+
+using LineRule = std::pair<int, std::string>;
+
+/// Expected findings of a fixture, read from its HIT/HIT-NEXT markers.
+std::set<LineRule> expected_hits(const std::string& content) {
+  std::set<LineRule> hits;
+  std::istringstream in(content);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    for (const auto& [tag, offset] :
+         std::vector<std::pair<std::string, int>>{{"HIT-NEXT:", 1},
+                                                  {"HIT:", 0}}) {
+      const std::size_t at = line.find(tag);
+      if (at == std::string::npos) continue;
+      std::istringstream rest(line.substr(at + tag.size()));
+      std::string rule;
+      rest >> rule;
+      hits.insert({lineno + offset, rule});
+      break;  // HIT-NEXT contains "HIT:" as a substring; match once
+    }
+  }
+  return hits;
+}
+
+std::set<LineRule> unsuppressed(const std::vector<Finding>& findings) {
+  std::set<LineRule> got;
+  for (const Finding& f : findings)
+    if (!f.suppressed) got.insert({f.line, f.rule});
+  return got;
+}
+
+std::vector<fs::path> fixtures_matching(const std::string& suffix) {
+  std::vector<fs::path> out;
+  for (const auto& e : fs::directory_iterator(fixture_dir())) {
+    const std::string name = e.path().filename().string();
+    if (name.size() > suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0)
+      out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  EXPECT_FALSE(out.empty()) << "no fixtures matching *" << suffix;
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fixture sweep: *_bad flags exactly its markers, *_allowed suppresses
+// everything, *_clean is silent.
+// ---------------------------------------------------------------------------
+
+TEST(LintFixtures, BadFixturesFlagExactlyTheirMarkedLines) {
+  for (const fs::path& p : fixtures_matching("_bad.cpp")) {
+    const std::string content = read_file(p);
+    const std::set<LineRule> want = expected_hits(content);
+    ASSERT_FALSE(want.empty()) << p << " has no HIT markers";
+    const std::set<LineRule> got =
+        unsuppressed(lint_source(p.filename().string(), content));
+    EXPECT_EQ(got, want) << "in fixture " << p;
+  }
+}
+
+TEST(LintFixtures, AllowedFixturesAreFullySuppressed) {
+  for (const fs::path& p : fixtures_matching("_allowed.cpp")) {
+    const std::string content = read_file(p);
+    const auto findings = lint_source(p.filename().string(), content);
+    std::size_t suppressed = 0;
+    for (const Finding& f : findings) {
+      EXPECT_TRUE(f.suppressed)
+          << p << ":" << f.line << " [" << f.rule << "] " << f.message;
+      if (f.suppressed) {
+        ++suppressed;
+        EXPECT_FALSE(f.allow_reason.empty());
+      }
+    }
+    EXPECT_GT(suppressed, 0u) << p << " suppresses nothing — fixture rotted";
+  }
+}
+
+TEST(LintFixtures, CleanFixturesProduceNoFindings) {
+  for (const fs::path& p : fixtures_matching("_clean.cpp")) {
+    const std::string content = read_file(p);
+    for (const Finding& f : lint_source(p.filename().string(), content)) {
+      ADD_FAILURE() << p << ":" << f.line << " [" << f.rule << "] "
+                    << f.message;
+    }
+  }
+}
+
+TEST(LintFixtures, EveryRuleIsProvenByAFixture) {
+  std::set<std::string> flagged;
+  for (const fs::path& p : fixtures_matching("_bad.cpp"))
+    for (const auto& [line, rule] : expected_hits(read_file(p)))
+      flagged.insert(rule);
+  for (const auto& rule : nexit::lint::rule_table())
+    EXPECT_TRUE(flagged.count(rule.name) != 0)
+        << "rule " << rule.name << " has no bad-fixture proving it fires";
+}
+
+// ---------------------------------------------------------------------------
+// Engine unit tests
+// ---------------------------------------------------------------------------
+
+TEST(LintEngine, RuleTableNamesAreUniqueAndKnown) {
+  std::set<std::string> seen;
+  for (const auto& r : nexit::lint::rule_table()) {
+    EXPECT_TRUE(seen.insert(r.name).second) << "duplicate rule " << r.name;
+    EXPECT_TRUE(nexit::lint::known_rule(r.name));
+    EXPECT_FALSE(r.summary.empty());
+    EXPECT_FALSE(r.rationale.empty());
+  }
+  EXPECT_FALSE(nexit::lint::known_rule("no-such-rule"));
+}
+
+TEST(LintEngine, StripPreservesLayoutAndBlanksLiterals) {
+  const std::string src =
+      "int a = 1; // time(nullptr)\n"
+      "const char* s = \"rand()\";\n"
+      "/* srand(1); */ int b = 2;\n";
+  const std::string out = nexit::lint::strip_comments_and_strings(src);
+  EXPECT_EQ(out.size(), src.size());
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_NE(out.find("int a = 1;"), std::string::npos);
+  EXPECT_NE(out.find("int b = 2;"), std::string::npos);
+}
+
+TEST(LintEngine, LiteralsAndCommentsCannotTriggerRules) {
+  const std::string src =
+      "#include <string>\n"
+      "// std::random_device in a comment\n"
+      "std::string s() { return \"system_clock\"; }\n";
+  EXPECT_TRUE(lint_source("x.cpp", src).empty());
+}
+
+TEST(LintEngine, CanonicalHelperFilesAreExemptByPath) {
+  const std::string accum =
+      "double sum(const double* xs, int n) {\n"
+      "  double total = 0;\n"
+      "  for (int i = 0; i < n; ++i) total += xs[i];\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_FALSE(lint_source("src/sim/foo.cpp", accum).empty());
+  EXPECT_TRUE(lint_source("src/util/stats.cpp", accum).empty());
+  EXPECT_TRUE(lint_source("src/routing/loads.cpp", accum).empty());
+  EXPECT_TRUE(lint_source("src/metrics/metrics.cpp", accum).empty());
+
+  const std::string entropy = "int f() { return rand(); }\n";
+  EXPECT_FALSE(lint_source("src/core/foo.cpp", entropy).empty());
+  EXPECT_TRUE(lint_source("src/util/rng.cpp", entropy).empty());
+  EXPECT_TRUE(lint_source("src/runtime/clock.cpp", entropy).empty());
+}
+
+TEST(LintEngine, SiblingHeaderInformsFloatAccumulate) {
+  const std::string header = "class M { double acc_ = 0; void tick(); };\n";
+  const std::string source =
+      "void M::tick() {\n"
+      "  for (int i = 0; i < 3; ++i) {\n"
+      "    acc_ += 0.5;\n"
+      "  }\n"
+      "}\n";
+  // Without the header the member's type is unknown — no finding.
+  EXPECT_TRUE(lint_source("src/x/m.cpp", source).empty());
+  const auto findings = lint_source("src/x/m.cpp", source, header);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "float-accumulate");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintEngine, AllowOnPreviousLineSuppresses) {
+  const std::string src =
+      "// nexit-lint: allow(raw-entropy): seeding the demo only\n"
+      "int f() { return rand(); }\n";
+  const auto findings = lint_source("x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+  EXPECT_EQ(findings[0].allow_reason, "seeding the demo only");
+}
+
+TEST(LintEngine, AllowDoesNotLeakToOtherRulesOrFarLines) {
+  const std::string src =
+      "// nexit-lint: allow(float-accumulate): wrong rule for the finding\n"
+      "int f() { return rand(); }\n";
+  const auto findings = lint_source("x.cpp", src);
+  // The rand() finding stays, and the unused annotation goes stale.
+  std::set<std::string> rules;
+  for (const Finding& f : findings) {
+    EXPECT_FALSE(f.suppressed);
+    rules.insert(f.rule);
+  }
+  EXPECT_EQ(rules, (std::set<std::string>{"raw-entropy", "stale-allow"}));
+}
+
+TEST(LintEngine, FindingsAreSortedAndDeterministic) {
+  const std::string src =
+      "#include <cstdlib>\n"
+      "int a() { return rand(); }\n"
+      "int b() { return rand(); }\n";
+  const auto f1 = lint_source("x.cpp", src);
+  const auto f2 = lint_source("x.cpp", src);
+  ASSERT_EQ(f1.size(), 2u);
+  EXPECT_LT(f1[0].line, f1[1].line);
+  ASSERT_EQ(f2.size(), f1.size());
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_EQ(f1[i].line, f2[i].line);
+    EXPECT_EQ(f1[i].rule, f2[i].rule);
+    EXPECT_EQ(f1[i].message, f2[i].message);
+  }
+}

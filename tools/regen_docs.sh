@@ -2,10 +2,11 @@
 # Regenerate every doc that is derived from the code:
 #   - docs/SPEC_REFERENCE.md   from the spec-key metadata registry
 #   - README.md scenario table from the scenario registry
+#   - docs/ARCHITECTURE.md lint-rule table from determinism_lint
 #
 #   tools/regen_docs.sh [build-dir]     (default: build)
 #
-# CI runs this and fails on `git diff`, so neither can drift from the
+# CI runs this and fails on `git diff`, so none can drift from the
 # registries they document.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -13,4 +14,20 @@ build="${1:-build}"
 
 "$build/nexit_run" --help-spec=markdown > docs/SPEC_REFERENCE.md
 "$build/nexit_run" --list-scenarios=tsv | python3 tools/update_readme_catalog.py README.md
-echo "regenerated docs/SPEC_REFERENCE.md and the README scenario catalog"
+
+# Splice the lint's self-reported rule table between the markers in
+# docs/ARCHITECTURE.md § Correctness tooling.
+LINT_RULES="$("$build/tools/lint/determinism_lint" --list-rules=markdown)" \
+python3 - <<'EOF'
+import os
+
+path = "docs/ARCHITECTURE.md"
+table = os.environ["LINT_RULES"].rstrip("\n")
+begin, end = "<!-- lint-rules:begin -->", "<!-- lint-rules:end -->"
+text = open(path).read()
+head, rest = text.split(begin, 1)
+_, tail = rest.split(end, 1)
+open(path, "w").write(f"{head}{begin}\n{table}\n{end}{tail}")
+EOF
+echo "regenerated docs/SPEC_REFERENCE.md, the README scenario catalog," \
+     "and the ARCHITECTURE.md lint-rule table"
