@@ -11,12 +11,12 @@
 //        --repeat (timing repetitions per mode, default 3),
 //        --moves (loads-microbench move count, default 2000), --json=PATH.
 
-#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "capacity/capacity.hpp"
 #include "core/oracles.hpp"
+#include "obs/wall_clock.hpp"
 #include "routing/incremental_loads.hpp"
 #include "routing/loads.hpp"
 #include "routing/pair_routing.hpp"
@@ -28,11 +28,9 @@ namespace {
 using namespace nexit;
 using util::double_bits;
 using util::fnv1a_mix;
-using Clock = std::chrono::steady_clock;
+using Clock = obs::WallClock;
 
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
+double ms_since(Clock::TimePoint t0) { return Clock::ms_since(t0); }
 
 std::uint64_t outcome_digest(const core::NegotiationOutcome& o) {
   std::uint64_t h = util::kFnvOffsetBasis;

@@ -26,11 +26,11 @@
 // transport); the digest printed at the end makes that checkable from the
 // shell:  diff <(... --threads=1) <(... --threads=4)
 
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "obs/wall_clock.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/report.hpp"
 
@@ -65,14 +65,12 @@ int main(int argc, char** argv) {
             << cfg.limits.max_steps_per_pump << ", drop " << cfg.faults.drop
             << ", threads " << cfg.runtime.threads << "\n";
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = obs::WallClock::now();
   runtime::Scenario scenario(cfg);
-  const auto t_built = std::chrono::steady_clock::now();
+  const double build_s = obs::WallClock::ms_since(t0) / 1e3;
+  const auto t_run = obs::WallClock::now();
   const runtime::ScenarioReport report = scenario.run();
-  const auto t1 = std::chrono::steady_clock::now();
-
-  const double build_s = std::chrono::duration<double>(t_built - t0).count();
-  const double run_s = std::chrono::duration<double>(t1 - t_built).count();
+  const double run_s = obs::WallClock::ms_since(t_run) / 1e3;
   const auto& st = report.stats;
   const double sessions_per_s =
       run_s > 0 ? static_cast<double>(st.done + st.failed) / run_s : 0.0;

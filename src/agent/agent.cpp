@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace nexit::agent {
 
 namespace {
@@ -84,6 +86,7 @@ const core::NegotiationOutcome& NegotiationAgent::outcome() const {
 }
 
 void NegotiationAgent::send_message(const proto::Message& m) {
+  const obs::PhaseTimer timer(obs::Phase::kWireEncode);
   channel_->send(proto::encode_frame(proto::encode_message(m)));
 }
 
@@ -150,7 +153,10 @@ void NegotiationAgent::send_pref_advert(bool reassignment) {
 
 void NegotiationAgent::send_handshake() {
   const core::OracleContext ctx{&problem_, &tentative_, &remaining_};
-  truth_ = oracle_->evaluate(ctx);
+  {
+    const obs::PhaseTimer timer(obs::Phase::kEvaluateFull);
+    truth_ = oracle_->evaluate(ctx);
+  }
   ++outcome_.evaluate_calls_full;
   outcome_.evaluate_rows_computed += truth_.rows_recomputed;
   outcome_.evaluate_rows_full_equivalent += problem_.negotiable.size();
@@ -292,9 +298,14 @@ void NegotiationAgent::maybe_trigger_reassignment() {
   ++outcome_.reassignments;
   if (oracle_->wants_reassignment()) {
     const core::OracleContext ctx{&problem_, &tentative_, &remaining_};
-    truth_ = config_.negotiation.incremental_evaluation
-                 ? oracle_->evaluate_incremental(ctx, pending_delta_)
-                 : oracle_->evaluate(ctx);
+    {
+      const obs::PhaseTimer timer(config_.negotiation.incremental_evaluation
+                                      ? obs::Phase::kEvaluateIncremental
+                                      : obs::Phase::kEvaluateFull);
+      truth_ = config_.negotiation.incremental_evaluation
+                   ? oracle_->evaluate_incremental(ctx, pending_delta_)
+                   : oracle_->evaluate(ctx);
+    }
     ++(config_.negotiation.incremental_evaluation
            ? outcome_.evaluate_calls_incremental
            : outcome_.evaluate_calls_full);
@@ -599,9 +610,15 @@ bool NegotiationAgent::step() {
   }
 
   while (state_ != AgentState::kDone && state_ != AgentState::kFailed) {
-    const auto frame = decoder_.next();
+    const auto frame = [this] {
+      const obs::PhaseTimer timer(obs::Phase::kWireDecode);
+      return decoder_.next();
+    }();
     if (!frame.has_value()) break;
-    auto msg = proto::decode_message(*frame);
+    auto msg = [&frame] {
+      const obs::PhaseTimer timer(obs::Phase::kWireDecode);
+      return proto::decode_message(*frame);
+    }();
     if (!msg.ok()) {
       fail("decode error: " + msg.error().message);
       return true;

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace nexit::core {
 
 namespace {
@@ -75,9 +77,11 @@ void NegotiationEngine::refresh_preferences() {
   const bool incremental = config_.incremental_evaluation && evaluated_once_;
   for (int s = 0; s < 2; ++s) {
     if (incremental) {
+      const obs::PhaseTimer timer(obs::Phase::kEvaluateIncremental);
       truth_[s] = oracles_[s]->evaluate_incremental(ctx, pending_delta_);
       ++eval_calls_incremental_;
     } else {
+      const obs::PhaseTimer timer(obs::Phase::kEvaluateFull);
       truth_[s] = oracles_[s]->evaluate(ctx);
       ++eval_calls_full_;
     }
@@ -337,6 +341,20 @@ NegotiationOutcome NegotiationEngine::run() {
   outcome.disclosed_gain_a = disclosed_gain_[0];
   outcome.disclosed_gain_b = disclosed_gain_[1];
   outcome.rounds = round;
+
+  // Registry bumps happen on the worker thread that ran the negotiation;
+  // uint64 shard sums are commutative, so the merged "obs" section is the
+  // same for every --threads=N.
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("engine.negotiations", 1);
+  reg.add("engine.rounds", round);
+  reg.add("engine.flows_moved", outcome.flows_moved);
+  reg.add("engine.evaluate_calls_full", eval_calls_full_);
+  reg.add("engine.evaluate_calls_incremental", eval_calls_incremental_);
+  reg.add("engine.evaluate_rows_computed", eval_rows_computed_);
+  reg.add("engine.evaluate_rows_full_equivalent", eval_rows_full_equivalent_);
+  reg.observe("engine.rounds_per_negotiation", round);
+
   return outcome;
 }
 

@@ -1,5 +1,6 @@
 #include "core/preference.hpp"
 
+#include "obs/registry.hpp"
 #include "util/stats.hpp"
 
 #include <algorithm>
@@ -39,6 +40,7 @@ double max_abs_delta(const std::vector<std::vector<double>>& deltas) {
 
 double quantization_scale(const std::vector<std::vector<double>>& deltas,
                           const PreferenceConfig& config) {
+  const obs::PhaseTimer timer(obs::Phase::kQuantizationScale);
   std::vector<double> magnitudes;
   for (const auto& row : deltas)
     for (double d : row)

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/engine.hpp"
+#include "obs/registry.hpp"
 
 namespace nexit::core {
 
@@ -20,6 +21,7 @@ void check_view(const StrategyView& v) {
 
 bool select_proposal(const StrategyView& view, ProposalPolicy policy,
                      util::Rng* rng, ProposalChoice& out) {
+  const obs::PhaseTimer timer(obs::Phase::kSelectProposal);
   check_view(view);
   bool found = false;
   int best_primary = 0, best_secondary = 0;

@@ -1,0 +1,130 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace nexit::obs {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out + "\"";
+}
+
+void emit_args(std::ostringstream& os,
+               const std::vector<std::pair<std::string, std::string>>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    os << (i == 0 ? "" : ",") << quote(args[i].first) << ":" << args[i].second;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+Trace::Args& Trace::Args::add(const std::string& key, std::int64_t value) {
+  kv_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+Trace::Args& Trace::Args::add(const std::string& key,
+                              const std::string& value) {
+  kv_.emplace_back(key, quote(value));
+  return *this;
+}
+
+Trace::Args& Trace::Args::add_bool(const std::string& key, bool value) {
+  kv_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+int Trace::new_track(const std::string& name) {
+  const int track = next_track_++;
+  Event e;
+  e.ph = 'M';
+  e.track = track;
+  e.name = "thread_name";
+  e.args.emplace_back("name", quote(name));
+  events_.push_back(std::move(e));
+  return track;
+}
+
+void Trace::complete(int track, std::uint64_t ts, std::uint64_t dur,
+                     const std::string& name, const std::string& cat,
+                     Args args) {
+  Event e;
+  e.ph = 'X';
+  e.track = track;
+  e.ts = ts;
+  e.dur = dur;
+  e.name = name;
+  e.cat = cat;
+  e.args = std::move(args.kv_);
+  events_.push_back(std::move(e));
+}
+
+void Trace::instant(int track, std::uint64_t ts, const std::string& name,
+                    const std::string& cat, Args args) {
+  Event e;
+  e.ph = 'i';
+  e.track = track;
+  e.ts = ts;
+  e.name = name;
+  e.cat = cat;
+  e.args = std::move(args.kv_);
+  events_.push_back(std::move(e));
+}
+
+std::string Trace::to_json() const {
+  // One event per line: a trace diff (the CI cross-thread check) points at
+  // the first diverging event, not at one mega-line.
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    os << (i == 0 ? "\n" : ",\n") << "{\"ph\":\"" << e.ph << "\",\"pid\":0"
+       << ",\"tid\":" << e.track;
+    if (e.ph != 'M') os << ",\"ts\":" << e.ts;
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur;
+    os << ",\"name\":" << quote(e.name);
+    if (!e.cat.empty()) os << ",\"cat\":" << quote(e.cat);
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    if (!e.args.empty()) {
+      os << ",\"args\":";
+      emit_args(os, e.args);
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+void Trace::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  out << to_json();
+  out.flush();
+  if (!out) {
+    std::cerr << "error: --trace: cannot write " << path << "\n";
+    std::exit(2);
+  }
+  std::cout << "trace written to " << path << " (" << event_count()
+            << " events)\n";
+}
+
+}  // namespace nexit::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+// Chrome trace_event JSON writer (the JSON Array / traceEvents format both
+// chrome://tracing and Perfetto load). Events are stamped with LOGICAL
+// clocks — engine round numbers, runtime virtual ticks — never wall time,
+// so a trace is a determinism artifact: byte-identical for every
+// --threads=N, diffable by CI exactly like an outcome digest.
+//
+// Usage: events are appended single-threaded (the scenario layer converts
+// per-sample round traces and session reports after the parallel phase);
+// tracks are numbered in creation order, so append order IS file order.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nexit::obs {
+
+class Trace {
+ public:
+  /// Ordered argument map of one event; values are pre-rendered JSON.
+  class Args {
+   public:
+    Args& add(const std::string& key, std::int64_t value);
+    Args& add(const std::string& key, const std::string& value);
+    Args& add_bool(const std::string& key, bool value);
+
+   private:
+    friend class Trace;
+    std::vector<std::pair<std::string, std::string>> kv_;
+  };
+
+  /// Opens a new track (trace_event "tid"), emitting its thread_name
+  /// metadata event. Tracks are numbered 0, 1, ... in creation order.
+  int new_track(const std::string& name);
+
+  /// Complete event ("ph":"X"): a span of `dur` logical ticks at `ts`.
+  void complete(int track, std::uint64_t ts, std::uint64_t dur,
+                const std::string& name, const std::string& cat, Args args);
+
+  /// Instant event ("ph":"i", thread scope).
+  void instant(int track, std::uint64_t ts, const std::string& name,
+               const std::string& cat, Args args);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+
+  /// Serializes the trace; exits 2 on I/O failure (a requested-but-
+  /// unwritable determinism artifact must not fail silently). Prints a
+  /// "trace written to <path>" confirmation line.
+  void write(const std::string& path) const;
+
+  /// The serialized bytes write() would produce (tests byte-compare this).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Event {
+    char ph = 'X';
+    int track = 0;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::string name;
+    std::string cat;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+
+  std::vector<Event> events_;
+  int next_track_ = 0;
+};
+
+}  // namespace nexit::obs

@@ -1,0 +1,34 @@
+#pragma once
+
+// The one sanctioned wall-clock in the tree. Everything that measures real
+// elapsed time — phase timers, bench wall_ms lines, scenario wall-clock
+// metrics — reads it through obs::WallClock, and the determinism lint's
+// raw-entropy rule exempts exactly this file: a naked steady_clock anywhere
+// else is flagged, so every wall-clock read stays auditable as "timing
+// telemetry only, never digest input".
+
+#include <chrono>
+#include <cstdint>
+
+namespace nexit::obs {
+
+class WallClock {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  [[nodiscard]] static TimePoint now() {
+    return std::chrono::steady_clock::now();
+  }
+
+  [[nodiscard]] static double ms_since(TimePoint t0) {
+    return std::chrono::duration<double, std::milli>(now() - t0).count();
+  }
+
+  [[nodiscard]] static std::uint64_t ns_since(TimePoint t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now() - t0)
+            .count());
+  }
+};
+
+}  // namespace nexit::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace nexit::routing {
 
 IncrementalLoads::IncrementalLoads(const PairRouting& routing,
@@ -88,6 +90,7 @@ void IncrementalLoads::clear_marks() {
 
 void IncrementalLoads::rebuild(const Assignment& assignment,
                                const std::vector<char>* counted) {
+  const obs::PhaseTimer timer(obs::Phase::kLoadsMaintain);
   if (assignment.ix_of_flow.size() != flows_->size())
     throw std::invalid_argument("IncrementalLoads: assignment size mismatch");
   if (counted != nullptr && counted->size() != flows_->size())

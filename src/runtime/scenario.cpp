@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/oracles.hpp"
+#include "obs/registry.hpp"
 #include "util/digest.hpp"
 #include "util/rng.hpp"
 
@@ -251,12 +252,38 @@ ScenarioReport Scenario::run() {
     if (s.status() == SessionStatus::kDone) r.outcome = s.outcome();
     r.error = s.error();
     r.attempts = s.attempts();
+    r.retries = s.retries();
     r.steps = s.steps();
     r.messages = s.messages_sent();
+    r.timeouts = s.timeouts();
     r.started_at = s.started_at();
     r.finished_at = s.finished_at();
     report.sessions.push_back(std::move(r));
   }
+
+  // Registry bumps run here, serially after the manager joined its workers,
+  // rather than inside the concurrent session machinery: the values derive
+  // from the id-ordered report, so they are trivially thread-stable.
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("runtime.sessions", report.sessions.size());
+  for (const ScenarioSessionResult& r : report.sessions) {
+    switch (r.status) {
+      case SessionStatus::kDone: reg.add("runtime.sessions_done", 1); break;
+      case SessionStatus::kFailed: reg.add("runtime.sessions_failed", 1); break;
+      case SessionStatus::kCancelled:
+        reg.add("runtime.sessions_cancelled", 1);
+        break;
+      default: break;
+    }
+    reg.add("runtime.messages", r.messages);
+    reg.add("runtime.steps", r.steps);
+    reg.add("runtime.retries", static_cast<std::uint64_t>(r.retries));
+    reg.add("runtime.timeouts", r.timeouts);
+    if (r.status == SessionStatus::kDone)
+      reg.add("runtime.rounds", r.outcome.rounds);
+    reg.observe("runtime.steps_per_session", r.steps);
+  }
+
   return report;
 }
 

@@ -124,8 +124,10 @@ struct ScenarioSessionResult {
   core::NegotiationOutcome outcome;  // valid when status == kDone
   std::string error;
   int attempts = 0;
+  int retries = 0;
   std::size_t steps = 0;
   std::uint64_t messages = 0;
+  std::uint64_t timeouts = 0;
   Tick started_at = 0;
   Tick finished_at = 0;
 };

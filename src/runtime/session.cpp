@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace nexit::runtime {
 
 namespace {
@@ -104,6 +106,7 @@ std::vector<const agent::Channel*> Session::watch_channels() const {
 }
 
 bool Session::pump(Tick now) {
+  const obs::PhaseTimer timer(obs::Phase::kSessionPump);
   if (status_ != SessionStatus::kRunning) return false;
   needs_kick_ = false;
   bool any = false;
@@ -153,6 +156,7 @@ void Session::check_deadline(Tick now) {
   if (status_ != SessionStatus::kRunning) return;
   const Tick due = deadline();
   if (now < due) return;  // stale timer; the manager re-arms at `due`
+  ++timeouts_;
   fail_or_retry(now, in_handshake() ? "handshake deadline exceeded"
                                     : "round timeout (no progress)");
 }

@@ -117,6 +117,11 @@ class Session {
   /// Frames offered to the transport by both sides, across all attempts
   /// (counts dropped frames too — it measures protocol work, not delivery).
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_; }
+  /// Deadline expiries that actually tore an attempt down (handshake
+  /// deadline or round timeout; stale timers do not count).
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  /// Failures consumed against max_attempts (the first try is free).
+  [[nodiscard]] int retries() const { return retries_used_; }
   [[nodiscard]] Tick started_at() const { return started_at_; }
   [[nodiscard]] Tick finished_at() const { return finished_at_; }
 
@@ -144,6 +149,7 @@ class Session {
   int retries_used_ = 0;   // failures consumed against max_attempts
   std::size_t steps_ = 0;
   std::uint64_t messages_ = 0;  // incremented by the counting decorator
+  std::uint64_t timeouts_ = 0;  // deadline expiries that acted
   Tick attempt_began_ = 0;
   Tick last_progress_ = 0;
   Tick started_at_ = 0;

@@ -130,6 +130,7 @@ std::vector<BandwidthSample> run_bandwidth_experiment(
       s.eval_calls_incremental = outcome.evaluate_calls_incremental;
       s.eval_rows_computed = outcome.evaluate_rows_computed;
       s.eval_rows_full_equivalent = outcome.evaluate_rows_full_equivalent;
+      if (ncfg.record_trace) s.rounds = outcome.trace;
       const routing::LoadMap negotiated_loads =
           routing::compute_loads(routing, tm.flows(), outcome.assignment);
       s.mel_negotiated[0] = metrics::side_mel(negotiated_loads, caps, 0);

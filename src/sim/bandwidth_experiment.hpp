@@ -60,6 +60,11 @@ struct BandwidthSample {
   std::size_t eval_rows_computed = 0;
   std::size_t eval_rows_full_equivalent = 0;
 
+  /// Per-round negotiation history; filled only when
+  /// negotiation.record_trace is set (the --trace pipeline). Excluded from
+  /// digest_samples like the telemetry.
+  std::vector<core::RoundTrace> rounds;
+
   // Per-side MELs (0 = upstream ISP A, 1 = downstream ISP B) after failure.
   double mel_default[2] = {0.0, 0.0};
   double mel_negotiated[2] = {0.0, 0.0};

@@ -62,6 +62,9 @@ routing::Assignment negotiate_in_groups(
     sample.eval_calls_incremental += outcome.evaluate_calls_incremental;
     sample.eval_rows_computed += outcome.evaluate_rows_computed;
     sample.eval_rows_full_equivalent += outcome.evaluate_rows_full_equivalent;
+    if (ncfg.record_trace)
+      sample.rounds.insert(sample.rounds.end(), outcome.trace.begin(),
+                           outcome.trace.end());
     for (std::size_t idx : problem.negotiable)
       result.ix_of_flow[idx] = outcome.assignment.ix_of_flow[idx];
   }

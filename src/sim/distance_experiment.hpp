@@ -53,6 +53,11 @@ struct DistanceSample {
   std::size_t eval_rows_computed = 0;
   std::size_t eval_rows_full_equivalent = 0;
 
+  /// Per-round negotiation history, concatenated over the group
+  /// negotiations; filled only when negotiation.record_trace is set (the
+  /// --trace pipeline). Excluded from digest_samples like the telemetry.
+  std::vector<core::RoundTrace> rounds;
+
   // Total km across both ISPs, all flows.
   double default_km = 0.0;
   double optimal_km = 0.0;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -17,6 +16,8 @@
 #include "geo/coord.hpp"
 #include "graph/graph.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/wall_clock.hpp"
 #include "routing/pair_routing.hpp"
 #include "sim/report.hpp"
 #include "topology/isp_topology.hpp"
@@ -27,11 +28,57 @@
 
 namespace nexit::sim {
 
+namespace {
+
+/// One trace track per engine sample: each recorded round becomes a
+/// one-tick 'X' span on the round-index logical clock, closed by a "settle"
+/// instant. Logical clocks only — the emitted events are byte-identical for
+/// every --threads value, which is what lets CI diff traces like digests.
+void emit_round_track(obs::Trace* trace, const std::string& track_name,
+                      const std::vector<core::RoundTrace>& rounds,
+                      std::size_t flows_moved) {
+  if (trace == nullptr) return;
+  const int track = trace->new_track(track_name);
+  std::uint64_t ts = 0;
+  std::int64_t accepted = 0;
+  for (const core::RoundTrace& r : rounds) {
+    accepted += r.accepted ? 1 : 0;
+    obs::Trace::Args args;
+    args.add("round", static_cast<std::int64_t>(r.round))
+        .add("proposer", static_cast<std::int64_t>(r.proposer))
+        .add("flow", static_cast<std::int64_t>(r.flow.value()))
+        .add("ix", static_cast<std::int64_t>(r.interconnection))
+        .add("pref_a", static_cast<std::int64_t>(r.pref_a))
+        .add("pref_b", static_cast<std::int64_t>(r.pref_b))
+        .add_bool("reassigned", r.reassigned_after);
+    trace->complete(track, ts, 1, r.accepted ? "accept" : "reject", "engine",
+                    std::move(args));
+    ++ts;
+  }
+  obs::Trace::Args settle;
+  settle.add("rounds", static_cast<std::int64_t>(rounds.size()))
+      .add("accepted", accepted)
+      .add("flows_moved", static_cast<std::int64_t>(flows_moved));
+  trace->instant(track, ts, "settle", "engine", std::move(settle));
+}
+
+}  // namespace
+
 void ScenarioContext::mix(const std::vector<DistanceSample>& samples) {
   digest = util::fnv1a_mix(digest, digest_samples(samples));
+  if (trace != nullptr) {
+    for (const DistanceSample& s : samples)
+      emit_round_track(trace, s.pair_label, s.rounds, s.flows_moved);
+  }
 }
 void ScenarioContext::mix(const std::vector<BandwidthSample>& samples) {
   digest = util::fnv1a_mix(digest, digest_samples(samples));
+  if (trace != nullptr) {
+    for (const BandwidthSample& s : samples)
+      emit_round_track(trace,
+                       s.pair_label + " fail@" + std::to_string(s.failed_ix),
+                       s.rounds, s.flows_moved);
+  }
 }
 
 std::vector<std::string> ScenarioContext::axis_values(
@@ -104,11 +151,9 @@ std::uint64_t digest_samples(const std::vector<BandwidthSample>& samples) {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = obs::WallClock;
 
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
+double ms_since(Clock::TimePoint t0) { return Clock::ms_since(t0); }
 
 /// A run that produced nothing must not print NaN percentages, emit an
 /// all-zero "everything is fine" digest, and exit 0 — scripts consuming the
@@ -1495,6 +1540,49 @@ int run_runtime(ScenarioContext& ctx) {
   }
 
   ctx.mix(runtime::outcome_digest(report));
+
+  if (ctx.trace != nullptr) {
+    // One track per session on the virtual tick clock, plus a timeline
+    // track of the declared events. Ticks are logical, so the trace is as
+    // thread-stable as the outcome digest.
+    if (!cfg.events.empty()) {
+      const int timeline = ctx.trace->new_track("timeline");
+      static const char* const kEventNames[] = {"start", "churn", "fail",
+                                                "restart"};
+      for (const runtime::ScenarioEvent& ev : cfg.events) {
+        obs::Trace::Args args;
+        args.add("session", static_cast<std::int64_t>(ev.session));
+        if (ev.kind == runtime::EventKind::kFlowChurn ||
+            ev.kind == runtime::EventKind::kLinkFailure)
+          args.add("param", static_cast<std::int64_t>(ev.param));
+        ctx.trace->instant(timeline, ev.at,
+                           kEventNames[static_cast<int>(ev.kind)], "timeline",
+                           std::move(args));
+      }
+    }
+    for (const auto& s : report.sessions) {
+      const int track = ctx.trace->new_track(
+          "session " + std::to_string(s.id) + " " + s.pair_label + " (" +
+          kKindNames[static_cast<int>(s.kind)] + ")");
+      const std::uint64_t dur =
+          s.finished_at > s.started_at ? s.finished_at - s.started_at : 0;
+      obs::Trace::Args args;
+      args.add("status", runtime::to_string(s.status))
+          .add("attempts", static_cast<std::int64_t>(s.attempts))
+          .add("retries", static_cast<std::int64_t>(s.retries))
+          .add("steps", static_cast<std::int64_t>(s.steps))
+          .add("messages", static_cast<std::int64_t>(s.messages))
+          .add("timeouts", static_cast<std::int64_t>(s.timeouts));
+      if (s.status == runtime::SessionStatus::kDone)
+        args.add("rounds", static_cast<std::int64_t>(s.outcome.rounds));
+      if (s.parent >= 0) args.add("parent", s.parent);
+      if (!s.error.empty()) args.add("error", s.error);
+      ctx.trace->complete(track, s.started_at, dur,
+                          runtime::to_string(s.status), "runtime",
+                          std::move(args));
+    }
+  }
+
   ctx.record.metric("sessions", static_cast<std::int64_t>(st.sessions));
   ctx.record.metric("sessions_done", static_cast<std::int64_t>(st.done));
   ctx.record.metric("sessions_failed", static_cast<std::int64_t>(st.failed));
@@ -1804,6 +1892,36 @@ ExperimentSpec spec_at_point(
   return point;
 }
 
+/// The deterministic registry snapshot as "obs" entries (routed to the
+/// active point's sub-section during a sweep). Counters verbatim;
+/// histograms as <name>.count/.sum plus one .b<k> entry per non-empty
+/// magnitude bucket, so the key set stays compact and canonical.
+void record_obs_section(util::JsonReport& record) {
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  for (const obs::CounterSnapshot& c : snap.counters)
+    record.obs_entry(c.name, static_cast<std::int64_t>(c.value));
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    record.obs_entry(h.name + ".count", static_cast<std::int64_t>(h.count));
+    record.obs_entry(h.name + ".sum", static_cast<std::int64_t>(h.sum));
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] > 0)
+        record.obs_entry(h.name + ".b" + std::to_string(b),
+                         static_cast<std::int64_t>(h.buckets[b]));
+    }
+  }
+}
+
+/// The wall-clock phase profile as the digest-excluded "timing" section
+/// (reported once per run, never per sweep point).
+void record_timing_section(util::JsonReport& record) {
+  for (const obs::PhaseSnapshot& p : obs::Registry::global().timing_snapshot()) {
+    record.timing_entry(std::string("phase.") + p.name + ".calls",
+                        static_cast<std::int64_t>(p.calls));
+    record.timing_entry(std::string("phase.") + p.name + ".ms",
+                        static_cast<double>(p.ns) / 1e6);
+  }
+}
+
 }  // namespace
 
 int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
@@ -1813,6 +1931,14 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
   const std::string spec_path = flags.get_string("spec", "");
   if (!spec_path.empty()) spec.merge_from_file(spec_path);
   spec.merge_from_flags(flags);
+
+  // --trace is the command-line spelling of the obs.trace spec key (both
+  // accepted; the bare flag wins, like any later merge layer).
+  const std::string trace_flag = flags.get_string("trace", "");
+  if (!trace_flag.empty()) {
+    spec.obs.trace = trace_flag;
+    spec.overridden.insert("obs.trace");
+  }
 
   // The record carries the legacy binary's name so BENCH_*.json
   // trajectories stay comparable across the redesign ("custom" has none).
@@ -1918,11 +2044,29 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
   for (const auto& [key, value] : spec.to_key_values())
     record.spec_entry(key, value);
 
+  // Observability setup: one Trace shared by every sweep point (tracks keep
+  // incrementing, so a single file holds the whole sweep); the wall-clock
+  // phase profile is armed for the run and reported once at the end. Work
+  // counters reset per run/point so the "obs" sections compose like the
+  // per-point digests.
+  const std::unique_ptr<obs::Trace> trace =
+      spec.obs.trace.empty() ? nullptr : std::make_unique<obs::Trace>();
+  obs::Registry::global().set_timing_enabled(spec.obs.timing);
+  obs::Registry::global().reset_timing();
+
   if (outer.empty()) {
+    obs::Registry::global().reset_counters();
     ScenarioContext ctx{spec, record};
+    ctx.trace = trace.get();
     const int rc = preset.run(ctx);
     if (rc != 0) return rc;
 
+    record_obs_section(record);
+    if (spec.obs.timing) {
+      record_timing_section(record);
+      obs::Registry::global().set_timing_enabled(false);
+    }
+    if (trace != nullptr) trace->write(spec.obs.trace);
     std::printf("\noutcome digest: %s\n", util::digest_hex(ctx.digest).c_str());
     record.metric("digest", util::digest_hex(ctx.digest));
     record.write();
@@ -1971,15 +2115,23 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
     std::printf("\n===== sweep point %zu/%zu: %s =====\n\n", i + 1,
                 points.size(), label.c_str());
     record.begin_point(label);
+    obs::Registry::global().reset_counters();
     ScenarioContext ctx{point_specs[i], record};
+    ctx.trace = trace.get();
     const int rc = preset.run(ctx);
     if (rc != 0) return rc;
+    record_obs_section(record);
     record.metric("digest", util::digest_hex(ctx.digest));
     std::printf("\npoint digest: %s\n", util::digest_hex(ctx.digest).c_str());
     sweep_digest = util::fnv1a_mix(sweep_digest, ctx.digest);
   }
   record.end_points();
 
+  if (spec.obs.timing) {
+    record_timing_section(record);
+    obs::Registry::global().set_timing_enabled(false);
+  }
+  if (trace != nullptr) trace->write(spec.obs.trace);
   std::printf("\noutcome digest: %s\n", util::digest_hex(sweep_digest).c_str());
   record.metric("sweep_points", static_cast<std::int64_t>(points.size()));
   record.metric("digest", util::digest_hex(sweep_digest));

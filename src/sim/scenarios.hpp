@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/spec.hpp"
 #include "util/digest.hpp"
@@ -36,6 +37,10 @@ struct ScenarioContext {
   const ExperimentSpec& spec;
   util::JsonReport& record;
   std::uint64_t digest = util::kFnvOffsetBasis;
+  /// Destination for the --trace timeline (null = tracing off). Owned by
+  /// run_scenario; shared across sweep points so one file holds the whole
+  /// sweep (tracks keep incrementing).
+  obs::Trace* trace = nullptr;
 
   void mix(std::uint64_t v) { digest = util::fnv1a_mix(digest, v); }
   void mix_double(double v) { mix(util::double_bits(v)); }

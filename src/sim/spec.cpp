@@ -481,6 +481,9 @@ void ExperimentSpec::merge_from_flags(const util::Flags& flags) {
   runtime.fault_targets =
       merge_targets(flags, "runtime.fault-targets", runtime.fault_targets);
   runtime.events = merge_events(flags, "runtime.events", runtime.events);
+
+  obs.trace = flags.get_string("obs.trace", obs.trace);
+  obs.timing = flags.get_bool("obs.timing", obs.timing);
 }
 
 void ExperimentSpec::merge_from_file(const std::string& path) {
@@ -577,6 +580,8 @@ std::vector<std::pair<std::string, std::string>> ExperimentSpec::to_key_values()
   kv.emplace_back("runtime.corrupt", fmt_double(runtime.corrupt));
   kv.emplace_back("runtime.fault-targets", targets_text(runtime.fault_targets));
   kv.emplace_back("runtime.events", events_text(runtime.events));
+  kv.emplace_back("obs.trace", obs.trace);
+  kv.emplace_back("obs.timing", obs.timing ? "true" : "false");
   for (const SweepAxis& axis : sweeps)
     kv.emplace_back("sweep." + axis.key, axis_values_text(axis));
   return kv;
@@ -730,6 +735,10 @@ core::NegotiationConfig ExperimentSpec::to_negotiation_config() const {
   c.settlement_rollback = rollback;
   c.incremental_evaluation = incremental;
   c.verify_incremental_every = verify_incremental;
+  // The trace writer replays the engine's per-round history, so requesting
+  // a trace turns on round recording everywhere the spec reaches (both
+  // experiment engines and the runtime sessions).
+  c.record_trace = !obs.trace.empty();
   return c;
 }
 
@@ -909,6 +918,13 @@ std::vector<SpecKeyInfo> build_key_registry() {
       {"runtime.events", "events", kForRuntime, kEventsGrammar,
        "The declared timeline: staggered starts, flow churn, mid-session "
        "link failure, peer restarts."},
+      {"obs.trace", "string", kForAllKinds, "output file path",
+       "Write a Chrome trace_event JSON (Perfetto-loadable) negotiation "
+       "timeline here; logical clocks only, byte-identical across "
+       "--threads=N. Empty = no trace."},
+      {"obs.timing", "bool", kForAllKinds, "",
+       "Wall-clock phase profile (digest-excluded `timing` JSON section); "
+       "off = disarmed timers, provably zero overhead."},
   };
 
   std::vector<SpecKeyInfo> registry;

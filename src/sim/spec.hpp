@@ -122,6 +122,21 @@ struct RuntimeSpec {
   friend bool operator==(const RuntimeSpec&, const RuntimeSpec&) = default;
 };
 
+/// The `obs.*` spec namespace: the observability layer (src/obs). Both keys
+/// apply to every experiment kind and default to off, so the observability
+/// layer is invisible — and provably zero-overhead — unless asked for.
+struct ObsSpec {
+  /// Write a Chrome trace_event JSON file (Perfetto-loadable) of the run's
+  /// negotiation timeline here. Logical clocks only: traces are
+  /// byte-identical across --threads=N.
+  std::string trace;
+  /// Enable the wall-clock phase profile (digest-excluded "timing" JSON
+  /// section). Off = every PhaseTimer is a single relaxed atomic load.
+  bool timing = false;
+
+  friend bool operator==(const ObsSpec&, const ObsSpec&) = default;
+};
+
 /// Everything --help-spec and the generated reference know about one key
 /// (or sweep-only axis). `default_value` is derived from a
 /// default-constructed ExperimentSpec, and choice/range constraints from
@@ -193,6 +208,9 @@ struct ExperimentSpec {
 
   // --- runtime scenario (experiment=runtime only) -----------------------
   RuntimeSpec runtime;
+
+  // --- observability (src/obs) ------------------------------------------
+  ObsSpec obs;
 
   // --- declared sweep axes ----------------------------------------------
   /// Sorted by key (canonical order). run_scenario expands the cross

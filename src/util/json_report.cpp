@@ -46,6 +46,15 @@ void emit(std::ofstream& out,
   if (!entries.empty()) out << "\n  ";
 }
 
+void emit_inline(std::ofstream& out,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << quote(entries[i].first) << ": "
+        << entries[i].second;
+  }
+}
+
 }  // namespace
 
 JsonReport::JsonReport(const Flags& flags, std::string binary_name)
@@ -54,32 +63,55 @@ JsonReport::JsonReport(const Flags& flags, std::string binary_name)
 JsonReport::JsonReport(std::string path, std::string binary_name)
     : path_(std::move(path)), binary_(std::move(binary_name)) {}
 
+void JsonReport::insert(Entries& entries, const char* section,
+                        const std::string& key, std::string value) {
+  for (const auto& [existing, _] : entries) {
+    if (existing == key) {
+      std::cerr << "error: json record: duplicate key \"" << key
+                << "\" in section \"" << section << "\"\n";
+      std::exit(2);
+    }
+  }
+  entries.emplace_back(key, std::move(value));
+}
+
 void JsonReport::spec_entry(const std::string& key, const std::string& value) {
-  spec_.emplace_back(key, quote(value));
+  insert(spec_, "spec", key, quote(value));
 }
 
 void JsonReport::config(const std::string& key, const std::string& value) {
-  config_.emplace_back(key, quote(value));
+  insert(config_, "config", key, quote(value));
 }
 void JsonReport::config(const std::string& key, std::int64_t value) {
-  config_.emplace_back(key, std::to_string(value));
+  insert(config_, "config", key, std::to_string(value));
 }
 void JsonReport::config(const std::string& key, double value) {
-  config_.emplace_back(key, number(value));
+  insert(config_, "config", key, number(value));
 }
 
 void JsonReport::metric(const std::string& name, double value) {
-  sink().emplace_back(name, number(value));
+  insert(sink(), "metrics", name, number(value));
 }
 void JsonReport::metric(const std::string& name, std::int64_t value) {
-  sink().emplace_back(name, std::to_string(value));
+  insert(sink(), "metrics", name, std::to_string(value));
 }
 void JsonReport::metric(const std::string& name, const std::string& value) {
-  sink().emplace_back(name, quote(value));
+  insert(sink(), "metrics", name, quote(value));
+}
+
+void JsonReport::obs_entry(const std::string& name, std::int64_t value) {
+  insert(obs_sink(), "obs", name, std::to_string(value));
+}
+
+void JsonReport::timing_entry(const std::string& name, std::int64_t value) {
+  insert(timing_, "timing", name, std::to_string(value));
+}
+void JsonReport::timing_entry(const std::string& name, double value) {
+  insert(timing_, "timing", name, number(value));
 }
 
 void JsonReport::begin_point(const std::string& label) {
-  points_.emplace_back(label, Entries{});
+  points_.push_back(Point{label, {}, {}});
   in_point_ = true;
 }
 
@@ -89,9 +121,12 @@ void JsonReport::metric_cdf(const std::string& name, const Cdf& cdf) {
   if (cdf.empty()) return;
   metric(name + ".n", static_cast<std::int64_t>(cdf.size()));
   metric(name + ".min", cdf.min());
+  metric(name + ".p5", cdf.value_at(0.05));
   metric(name + ".p25", cdf.value_at(0.25));
   metric(name + ".p50", cdf.value_at(0.5));
   metric(name + ".p75", cdf.value_at(0.75));
+  metric(name + ".p90", cdf.value_at(0.9));
+  metric(name + ".p99", cdf.value_at(0.99));
   metric(name + ".max", cdf.max());
 }
 
@@ -109,17 +144,29 @@ void JsonReport::write() const {
   out << "},\n  \"metrics\": {";
   emit(out, metrics_);
   out << "}";
+  if (!obs_.empty()) {
+    out << ",\n  \"obs\": {";
+    emit(out, obs_);
+    out << "}";
+  }
+  if (!timing_.empty()) {
+    out << ",\n  \"timing\": {";
+    emit(out, timing_);
+    out << "}";
+  }
   if (!points_.empty()) {
     out << ",\n  \"points\": [";
     for (std::size_t i = 0; i < points_.size(); ++i) {
       out << (i == 0 ? "\n" : ",\n") << "    {\"point\": "
-          << quote(points_[i].first) << ", \"metrics\": {";
-      const Entries& entries = points_[i].second;
-      for (std::size_t j = 0; j < entries.size(); ++j) {
-        out << (j == 0 ? "" : ", ") << quote(entries[j].first) << ": "
-            << entries[j].second;
+          << quote(points_[i].label) << ", \"metrics\": {";
+      emit_inline(out, points_[i].metrics);
+      out << "}";
+      if (!points_[i].obs.empty()) {
+        out << ", \"obs\": {";
+        emit_inline(out, points_[i].obs);
+        out << "}";
       }
-      out << "}}";
+      out << "}";
     }
     out << "\n  ]";
   }

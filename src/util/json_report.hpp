@@ -21,6 +21,16 @@ namespace nexit::util {
 /// sim::ExperimentSpec (round-trippable key=value strings) and is omitted
 /// when empty; `config` holds ad-hoc knobs of non-scenario benches.
 ///
+/// Two optional sections carry observability data: `obs` (deterministic
+/// counters/histograms off the obs::Registry — thread-count independent,
+/// fair game for byte-comparisons) and `timing` (wall-clock phase profile —
+/// run-dependent, never digested). Sweep points get their own `obs`
+/// sub-section next to their metrics.
+///
+/// Every section rejects duplicate keys: recording the same key twice in
+/// one section is a bug in the caller (the record would silently shadow a
+/// value), so it aborts with exit 2 naming the key and section.
+///
 /// Construct it right after parsing (the Flags constructor reads --json,
 /// keeping reject_unknown happy), record entries as they are computed, and
 /// call write() last. Everything is a no-op without a path.
@@ -41,8 +51,18 @@ class JsonReport {
   void metric(const std::string& name, double value);
   void metric(const std::string& name, std::int64_t value);
   void metric(const std::string& name, const std::string& value);
-  /// Five-point summary of a CDF under "<name>.{n,min,p25,p50,p75,max}".
+  /// Nine-point summary of a CDF under
+  /// "<name>.{n,min,p5,p25,p50,p75,p90,p99,max}".
   void metric_cdf(const std::string& name, const Cdf& cdf);
+
+  /// One deterministic observability entry ("obs" section; lands in the
+  /// active point's obs sub-section during a sweep).
+  void obs_entry(const std::string& name, std::int64_t value);
+
+  /// One wall-clock profile entry (top-level "timing" section; never
+  /// point-scoped — timing is reported once per run).
+  void timing_entry(const std::string& name, std::int64_t value);
+  void timing_entry(const std::string& name, double value);
 
   /// Sweep support: after begin_point(), metric*() calls land in a per-
   /// point section of a top-level "points" array (`{"point": <label>,
@@ -60,18 +80,31 @@ class JsonReport {
  private:
   using Entries = std::vector<std::pair<std::string, std::string>>;
 
+  struct Point {
+    std::string label;
+    Entries metrics;
+    Entries obs;
+  };
+
+  /// Appends to `entries`, aborting (exit 2) when `key` is already present
+  /// in that section.
+  static void insert(Entries& entries, const char* section,
+                     const std::string& key, std::string value);
+
   /// The entry list metric*() currently appends to: the active point's, or
   /// the top-level metrics map.
-  Entries& sink() {
-    return in_point_ ? points_.back().second : metrics_;
-  }
+  Entries& sink() { return in_point_ ? points_.back().metrics : metrics_; }
+  /// Same routing for obs entries.
+  Entries& obs_sink() { return in_point_ ? points_.back().obs : obs_; }
 
   std::string path_;
   std::string binary_;
   Entries spec_;
   Entries config_;
   Entries metrics_;
-  std::vector<std::pair<std::string, Entries>> points_;
+  Entries obs_;
+  Entries timing_;
+  std::vector<Point> points_;
   bool in_point_ = false;
 };
 

@@ -21,6 +21,15 @@ long wall_stamp() {
   return WallClock::now().time_since_epoch().count();
 }
 
+double naked_stopwatch() {
+  // Wall-time measurement must go through obs::WallClock, never a naked
+  // steady_clock (only src/obs/wall_clock.hpp itself is exempt).
+  const auto t0 = std::chrono::steady_clock::now();  // HIT: raw-entropy
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)  // HIT: raw-entropy
+      .count();
+}
+
 void mix(std::vector<int>& v, std::mt19937& g) {
   std::shuffle(v.begin(), v.end(), g);  // HIT: raw-entropy
 }

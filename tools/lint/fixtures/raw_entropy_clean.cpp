@@ -1,14 +1,5 @@
 // Fixture: patterns the raw-entropy rule must NOT flag.
-#include <chrono>
 #include <cstdint>
-
-// steady_clock is the sanctioned wall-clock for duration measurement
-// (wall-clock lines are the one legitimately run-dependent output).
-double elapsed_ms(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 // Member calls named like libc functions are somebody's deterministic API
 // (the runtime's virtual clock, say) — only free calls are flagged.

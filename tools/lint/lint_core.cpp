@@ -121,12 +121,13 @@ const std::vector<Rule>& rule_table() {
        "index-ordered vector"},
       {kRawEntropy,
        "rand()/srand()/std::random_device, std::shuffle, time()/clock()/"
-       "gettimeofday(), or std::chrono::system_clock outside util::Rng / "
-       "runtime::Clock",
+       "gettimeofday(), or std::chrono::{system,steady}_clock outside "
+       "util::Rng / runtime::Clock / obs::WallClock",
        "unseeded entropy and wall-clock reads make reruns diverge; all "
-       "randomness flows through util::Rng streams and all simulated time "
-       "through the runtime's virtual clock (std::chrono::steady_clock is "
-       "allowed for wall-time measurement only)"},
+       "randomness flows through util::Rng streams, all simulated time "
+       "through the runtime's virtual clock, and all wall-time measurement "
+       "through obs::WallClock (the one sanctioned steady_clock wrapper, so "
+       "timing stays corralled in the digest-excluded timing section)"},
       {kPointerSort,
        "sort comparator that orders by pointer value or address, or a "
        "comparator-less sort of a pointer container",
@@ -476,7 +477,8 @@ void rule_raw_entropy(const std::string& path, const std::string& s,
   if (path_ends_with(path, "src/util/rng.hpp") ||
       path_ends_with(path, "src/util/rng.cpp") ||
       path_ends_with(path, "src/runtime/clock.hpp") ||
-      path_ends_with(path, "src/runtime/clock.cpp")) {
+      path_ends_with(path, "src/runtime/clock.cpp") ||
+      path_ends_with(path, "src/obs/wall_clock.hpp")) {
     return;  // the canonical wrappers themselves
   }
   // Entropy/time functions: flagged when *called* (next char is `(`) and
@@ -488,7 +490,8 @@ void rule_raw_entropy(const std::string& path, const std::string& s,
       "clock",     "gettimeofday", "timespec_get", "localtime",
       "gmtime",    "shuffle",      "random_shuffle"};
   // Nondeterminism sources flagged on sight, call or not.
-  static const std::set<std::string> kBare = {"random_device", "system_clock"};
+  static const std::set<std::string> kBare = {"random_device", "system_clock",
+                                              "steady_clock"};
 
   for (const Token& t : toks) {
     std::string what;
@@ -505,9 +508,9 @@ void rule_raw_entropy(const std::string& path, const std::string& s,
     findings.push_back(
         {path, lines.line_of(t.begin), kRawEntropy,
          "`" + what +
-             "` — route randomness through util::Rng and simulated time "
-             "through runtime::Clock (steady_clock is fine for wall-clock "
-             "measurement)",
+             "` — route randomness through util::Rng, simulated time "
+             "through runtime::Clock, and wall-clock measurement through "
+             "obs::WallClock",
          false, ""});
   }
 }

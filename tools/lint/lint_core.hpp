@@ -11,7 +11,8 @@
 //   unordered-iteration   iterating an unordered container into an
 //                         accumulator, digest, or output stream
 //   raw-entropy           rand()/std::random_device/time()/system_clock/
-//                         std::shuffle outside util::Rng / runtime::Clock
+//                         steady_clock/std::shuffle outside util::Rng /
+//                         runtime::Clock / obs::WallClock
 //   pointer-sort          sort comparators that order by address
 //   float-accumulate      ad-hoc floating-point `+=` reductions in loops
 //                         (summation order belongs to the canonical helpers)

@@ -190,6 +190,15 @@ TEST(LintEngine, CanonicalHelperFilesAreExemptByPath) {
   EXPECT_FALSE(lint_source("src/core/foo.cpp", entropy).empty());
   EXPECT_TRUE(lint_source("src/util/rng.cpp", entropy).empty());
   EXPECT_TRUE(lint_source("src/runtime/clock.cpp", entropy).empty());
+
+  // The one sanctioned steady_clock site is obs::WallClock; the identical
+  // snippet anywhere else is a raw-entropy finding.
+  const std::string stopwatch =
+      "#include <chrono>\n"
+      "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source("src/obs/wall_clock.hpp", stopwatch).empty());
+  EXPECT_FALSE(lint_source("src/sim/scenarios.cpp", stopwatch).empty());
+  EXPECT_FALSE(lint_source("bench/micro_incremental.cpp", stopwatch).empty());
 }
 
 TEST(LintEngine, SiblingHeaderInformsFloatAccumulate) {
