@@ -30,6 +30,7 @@ using util::double_bits;
 using util::fnv1a_mix;
 using Clock = obs::WallClock;
 
+// nexit-lint: allow(taint-flow): wall-clock timings are run-dependent by design; they feed the digest-excluded wall_ms metrics and progress lines only
 double ms_since(Clock::TimePoint t0) { return Clock::ms_since(t0); }
 
 std::uint64_t outcome_digest(const core::NegotiationOutcome& o) {

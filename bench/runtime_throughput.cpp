@@ -67,9 +67,11 @@ int main(int argc, char** argv) {
 
   const auto t0 = obs::WallClock::now();
   runtime::Scenario scenario(cfg);
+  // nexit-lint: allow(taint-flow): throughput benchmark — wall-clock duration is the measurement itself, printed to stdout and recorded in digest-excluded metrics
   const double build_s = obs::WallClock::ms_since(t0) / 1e3;
   const auto t_run = obs::WallClock::now();
   const runtime::ScenarioReport report = scenario.run();
+  // nexit-lint: allow(taint-flow): throughput benchmark — wall-clock duration is the measurement itself, printed to stdout and recorded in digest-excluded metrics
   const double run_s = obs::WallClock::ms_since(t_run) / 1e3;
   const auto& st = report.stats;
   const double sessions_per_s =

@@ -153,6 +153,7 @@ namespace {
 
 using Clock = obs::WallClock;
 
+// nexit-lint: allow(taint-flow): wall-clock phase timings are run-dependent by design; run_fig6/run_fig7 report them via the digest-excluded wall_ms metric section
 double ms_since(Clock::TimePoint t0) { return Clock::ms_since(t0); }
 
 /// A run that produced nothing must not print NaN percentages, emit an

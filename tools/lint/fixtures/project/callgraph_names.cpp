@@ -1,0 +1,53 @@
+// Project fixture for the call-graph indexer unit test. Each `DEF:`
+// comment marker names the exact qualified symbol the indexer must
+// produce for the function defined on the NEXT line; the test fails if
+// any marked definition is missing, or if the indexer invents a
+// definition this file does not mark (no-drift, both directions).
+//
+// Shapes covered: nested namespaces, C++17 compound namespace syntax,
+// in-class method bodies, out-of-line qualified definitions (ctor-init
+// lists, const/noexcept trailers, trailing return types), and an overload
+// set sharing one qualified name.
+
+namespace outer {
+namespace inner {
+
+// DEF: outer::inner::twice
+int twice(int x) { return x + x; }
+
+// DEF: outer::inner::twice
+double twice(double x) { return x + x; }
+
+struct Widget {
+  // DEF: outer::inner::Widget::Widget
+  explicit Widget(int n) : n_(n), scale_(1.0) {}
+
+  // DEF: outer::inner::Widget::size
+  int size() const noexcept { return n_; }
+
+  void reset();
+  auto scaled() const -> double;
+
+  int n_ = 0;
+  double scale_ = 1.0;
+};
+
+// DEF: outer::inner::Widget::reset
+void Widget::reset() { n_ = 0; }
+
+// DEF: outer::inner::Widget::scaled
+auto Widget::scaled() const -> double { return n_ * scale_; }
+
+}  // namespace inner
+
+// DEF: outer::helper
+int helper() { return inner::twice(2); }
+
+}  // namespace outer
+
+namespace outer::compound {
+
+// DEF: outer::compound::entry
+int entry() { return helper() + inner::twice(3); }
+
+}  // namespace outer::compound

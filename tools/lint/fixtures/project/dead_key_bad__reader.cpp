@@ -1,0 +1,14 @@
+// Project fixture (dead-spec-key, flagged): the reader TU. It reads
+// `alpha.rate` through a flags accessor and the `swept.axis` virtual key
+// through axis_values — but never `ghost.knob`, which therefore shows up
+// dead in dead_key_bad__registry.cpp.
+
+namespace fixture {
+
+void configure(const sim::Flags& flags, sim::ScenarioCtx& ctx) {
+  const int rate = flags.get_int("alpha.rate", 16);
+  const std::vector<std::string> axis = ctx.axis_values("swept.axis");
+  use(rate, axis);
+}
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Project fixture (dead-spec-key, flagged): a miniature
+// sim::spec_key_registry in the real registry's syntax — a KeyDoc
+// aggregate plus one sweep_only() virtual axis. The reader TU
+// (dead_key_bad__reader.cpp) reads `alpha.rate` and the swept axis but
+// never `ghost.knob`, so that entry is dead and flagged at its line.
+
+namespace fixture {
+
+struct KeyDoc {
+  const char* key;
+  const char* type;
+  const char* doc;
+};
+
+std::vector<SpecKeyInfo> build_key_registry() {
+  const KeyDoc docs[] = {
+      {"alpha.rate", "int", "Read by the reader TU through get_int."},
+      // HIT-NEXT: dead-spec-key
+      {"ghost.knob", "int", "No reader anywhere in the fixture set."},
+  };
+
+  std::vector<SpecKeyInfo> registry;
+  for (const KeyDoc& d : docs) {
+    SpecKeyInfo info;
+    info.key = d.key;
+    registry.push_back(info);
+  }
+
+  const auto sweep_only = [&registry](const char* key, const char* doc) {
+    SpecKeyInfo info;
+    info.key = key;
+    info.sweep_only = true;
+    registry.push_back(info);
+  };
+  sweep_only("swept.axis", "Virtual axis, read via axis_values.");
+
+  return registry;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Project fixture (dead-spec-key, near miss): the same miniature registry
+// as dead_key_bad, but every key — scalar and sweep-only alike — has a
+// reader in dead_key_clean__reader.cpp. Nothing is dead, nothing flagged.
+
+namespace fixture {
+
+struct KeyDoc {
+  const char* key;
+  const char* type;
+  const char* doc;
+};
+
+std::vector<SpecKeyInfo> build_key_registry() {
+  const KeyDoc docs[] = {
+      {"alpha.rate", "int", "Read by the reader TU through get_int."},
+      {"beta.flag", "bool", "Read by the reader TU through get_bool."},
+  };
+
+  std::vector<SpecKeyInfo> registry;
+  for (const KeyDoc& d : docs) {
+    SpecKeyInfo info;
+    info.key = d.key;
+    registry.push_back(info);
+  }
+
+  const auto sweep_only = [&registry](const char* key, const char* doc) {
+    SpecKeyInfo info;
+    info.key = key;
+    info.sweep_only = true;
+    registry.push_back(info);
+  };
+  sweep_only("swept.axis", "Virtual axis, read via axis_values.");
+
+  return registry;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Project fixture (lock-order, flagged): the classic ABBA shape. Two
+// methods of the same class acquire the same pair of mutexes in opposite
+// orders; both are flagged at their SECOND acquisition — the line where
+// the inconsistent order materializes.
+
+namespace fixture {
+
+struct Channels {
+  std::mutex tx_mu;
+  std::mutex rx_mu;
+  int tx = 0;
+  int rx = 0;
+
+  void forward() {
+    std::lock_guard<std::mutex> a(tx_mu);
+    std::lock_guard<std::mutex> b(rx_mu);  // HIT: lock-order
+    ++rx;
+  }
+
+  void backward() {
+    std::lock_guard<std::mutex> a(rx_mu);
+    std::lock_guard<std::mutex> b(tx_mu);  // HIT: lock-order
+    ++tx;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Project fixture (lock-order, near miss): both methods acquire the same
+// mutex pair in the SAME order — consistent pairwise order, no deadlock
+// shape, no finding. Also pins that std::scoped_lock (which acquires
+// atomically) never participates in ordering.
+
+namespace fixture {
+
+struct Channels {
+  std::mutex tx_mu;
+  std::mutex rx_mu;
+  int tx = 0;
+  int rx = 0;
+
+  void forward() {
+    std::lock_guard<std::mutex> a(tx_mu);
+    std::lock_guard<std::mutex> b(rx_mu);
+    ++rx;
+  }
+
+  void flush_both() {
+    std::lock_guard<std::mutex> a(tx_mu);
+    std::lock_guard<std::mutex> b(rx_mu);
+    tx = 0;
+    rx = 0;
+  }
+
+  void swap_counts() {
+    std::scoped_lock both(rx_mu, tx_mu);
+    const int t = tx;
+    tx = rx;
+    rx = t;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Project fixture (taint-flow, waived): sink half of the waived flow.
+// The waiver sits at the source in taint_cross_allowed__timer.cpp; this
+// file needs (and has) no annotation at the sink.
+
+namespace fixture {
+
+double elapsed_ms(obs::WallClock::TimePoint t0);
+
+void report_timing(obs::WallClock::TimePoint t0) {
+  const double ms = elapsed_ms(t0);
+  std::printf("phase took %.1f ms\n", ms);
+}
+
+}  // namespace fixture

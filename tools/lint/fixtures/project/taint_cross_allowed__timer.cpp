@@ -1,0 +1,11 @@
+// Project fixture (taint-flow, waived): same cross-TU flow as
+// taint_cross_bad, but the source line carries a reasoned allow() — the
+// one place a taint finding can be waived. The whole group must lint
+// clean, and the annotation must not go stale while the taint pass runs.
+
+namespace fixture {
+
+// nexit-lint: allow(taint-flow): wall-clock duration feeds a progress line only, never a digest
+double elapsed_ms(obs::WallClock::TimePoint t0) { return obs::WallClock::ms_since(t0); }
+
+}  // namespace fixture

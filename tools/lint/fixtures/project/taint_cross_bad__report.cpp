@@ -1,0 +1,15 @@
+// Project fixture (taint-flow, flagged): the sink half. The tainted value
+// arrives through a call edge into elapsed_ms() defined in
+// taint_cross_bad__timer.cpp and lands in an output sink. No marker here:
+// taint findings anchor at the source line, where the waiver must live.
+
+namespace fixture {
+
+double elapsed_ms(obs::WallClock::TimePoint t0);
+
+void report_timing(obs::WallClock::TimePoint t0) {
+  const double ms = elapsed_ms(t0);
+  std::printf("phase took %.1f ms\n", ms);
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Project fixture (taint-flow, flagged): the source half of a cross-TU
+// flow. A wall-clock read is born here; the value crosses the TU boundary
+// through the return value of elapsed_ms() and reaches a printf sink in
+// taint_cross_bad__report.cpp. The finding anchors HERE, at the source —
+// the sink file carries no marker.
+//
+// Fixtures are lint input, not compiled code.
+
+namespace fixture {
+
+// HIT-NEXT: taint-flow
+double elapsed_ms(obs::WallClock::TimePoint t0) { return obs::WallClock::ms_since(t0); }
+
+}  // namespace fixture

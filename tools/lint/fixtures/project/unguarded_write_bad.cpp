@@ -1,0 +1,19 @@
+// Project fixture (unguarded-write, flagged): a ThreadPool worker lambda
+// captures by reference and bumps an accumulator shared across workers
+// with no lock or atomic in scope — the final value depends on the
+// schedule. The sanctioned slot write right next to it stays silent.
+
+namespace fixture {
+
+void tally(runtime::ThreadPool& pool, const std::vector<int>& xs,
+           std::vector<int>& out) {
+  int total = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pool.submit([&, i] {
+      total += xs[i];  // HIT: unguarded-write
+      out[i] = xs[i] * 2;
+    });
+  }
+}
+
+}  // namespace fixture

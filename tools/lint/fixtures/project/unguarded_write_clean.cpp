@@ -1,0 +1,36 @@
+// Project fixture (unguarded-write, near misses): the three sanctioned
+// shapes. Per-worker slot writes (each index owned by one worker), a
+// lambda that takes a lock, and a lambda that only touches its own
+// locals — none of these is a finding.
+
+namespace fixture {
+
+void shard(runtime::ThreadPool& pool, const std::vector<int>& xs,
+           std::vector<int>& out) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pool.submit([&, i] { out[i] = xs[i] * 2; });
+  }
+}
+
+void guarded(runtime::ThreadPool& pool, std::mutex& mu, int& total,
+             const std::vector<int>& xs) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pool.submit([&, i] {
+      std::lock_guard<std::mutex> g(mu);
+      total += xs[i];
+    });
+  }
+}
+
+void local_only(runtime::ThreadPool& pool, const std::vector<int>& xs,
+                std::vector<int>& out) {
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    pool.submit([&, i] {
+      int scratch = xs[i];
+      scratch *= 2;
+      out[i] = scratch;
+    });
+  }
+}
+
+}  // namespace fixture

@@ -6,96 +6,12 @@
 #include <map>
 #include <set>
 
+#include "lint_graph.hpp"
+#include "lint_passes.hpp"
+#include "lint_text.hpp"
+
 namespace nexit::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Small text helpers
-// ---------------------------------------------------------------------------
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
-
-std::size_t skip_ws(const std::string& s, std::size_t i) {
-  while (i < s.size() && is_space(s[i])) ++i;
-  return i;
-}
-
-/// Index of the previous non-whitespace char before `i`, or npos.
-std::size_t prev_nonspace(const std::string& s, std::size_t i) {
-  while (i > 0) {
-    --i;
-    if (!is_space(s[i])) return i;
-  }
-  return std::string::npos;
-}
-
-/// `s[open]` is `open_ch`; returns the index of the matching `close_ch`
-/// (same nesting level), or npos when unbalanced.
-std::size_t find_matching(const std::string& s, std::size_t open, char open_ch,
-                          char close_ch) {
-  int depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == open_ch) ++depth;
-    else if (s[i] == close_ch && --depth == 0) return i;
-  }
-  return std::string::npos;
-}
-
-struct Token {
-  std::string text;
-  std::size_t begin = 0;
-  std::size_t end = 0;  // one past the last char
-};
-
-std::vector<Token> tokenize(const std::string& s) {
-  std::vector<Token> out;
-  for (std::size_t i = 0; i < s.size();) {
-    if (ident_start(s[i]) && (i == 0 || !ident_char(s[i - 1]))) {
-      std::size_t e = i;
-      while (e < s.size() && ident_char(s[e])) ++e;
-      out.push_back({s.substr(i, e - i), i, e});
-      i = e;
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-/// 1-based line number of byte offset `pos`.
-class LineIndex {
- public:
-  explicit LineIndex(const std::string& s) {
-    starts_.push_back(0);
-    for (std::size_t i = 0; i < s.size(); ++i)
-      if (s[i] == '\n') starts_.push_back(i + 1);
-  }
-  [[nodiscard]] int line_of(std::size_t pos) const {
-    auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
-    return static_cast<int>(it - starts_.begin());
-  }
-
- private:
-  std::vector<std::size_t> starts_;
-};
-
-bool path_ends_with(const std::string& path, const std::string& suffix) {
-  return path.size() >= suffix.size() &&
-         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool member_access_before(const std::string& s, std::size_t tok_begin) {
-  std::size_t p = prev_nonspace(s, tok_begin);
-  if (p == std::string::npos) return false;
-  if (s[p] == '.') return true;
-  return s[p] == '>' && p > 0 && s[p - 1] == '-';
-}
 
 // ---------------------------------------------------------------------------
 // Rule table
@@ -106,6 +22,10 @@ const char* const kRawEntropy = "raw-entropy";
 const char* const kPointerSort = "pointer-sort";
 const char* const kFloatAccumulate = "float-accumulate";
 const char* const kUninitPodDigest = "uninit-pod-digest";
+const char* const kTaintFlow = "taint-flow";
+const char* const kLockOrder = "lock-order";
+const char* const kUnguardedWrite = "unguarded-write";
+const char* const kDeadSpecKey = "dead-spec-key";
 const char* const kBadAllow = "bad-allow";
 const char* const kStaleAllow = "stale-allow";
 
@@ -146,6 +66,36 @@ const std::vector<Rule>& rule_table() {
        "uninitialized bytes reaching util::digest make the determinism "
        "digests compare garbage; every member must have a deterministic "
        "initial value"},
+      {kTaintFlow,
+       "cross-TU taint: a nondeterminism source value (obs::WallClock read, "
+       "raw entropy, pointer-to-integer cast, thread id, unordered-container "
+       "iteration order) flows — through locals and function return values — "
+       "into a digest, metric, or output sink (runs under --taint)",
+       "a digest or emitted record that depends on such a value differs "
+       "between runs even when every line looks innocent in isolation; the "
+       "finding anchors at the SOURCE line and reports the full "
+       "source -> sink call chain, and only an allow(taint-flow) at that "
+       "source line can waive it (the waiver is a statement about the "
+       "value, e.g. wall_ms being digest-excluded by design)"},
+      {kLockOrder,
+       "two functions acquire the same pair of mutexes in opposite orders "
+       "(runs under --locks)",
+       "inconsistent pairwise acquisition order is the ABBA deadlock shape; "
+       "under contention the run wedges — or worse, a timeout path fires "
+       "nondeterministically and the records diverge"},
+      {kUnguardedWrite,
+       "write to shared (captured, non-slot) state inside a ThreadPool "
+       "worker lambda with no lock or atomic in scope (runs under --locks)",
+       "the winner of a racy write is schedule-dependent, which is exactly "
+       "the nondeterminism the --threads=N bit-identity contract forbids; "
+       "give each worker its own slot (out[i] = ...), guard the write, or "
+       "make it atomic"},
+      {kDeadSpecKey,
+       "sim::spec_key_registry entry whose key is never read by any "
+       "flags/spec accessor (runs under --dead-keys)",
+       "a registered key that nothing reads still serializes, documents, "
+       "and digests — so specs look configurable while the knob is "
+       "disconnected; wire it up or delete the entry"},
       {kBadAllow,
        "malformed nexit-lint annotation (unknown rule name, or missing "
        "reason)",
@@ -1007,55 +957,77 @@ void rule_uninit_pod_digest(const std::string& path, const std::string& raw,
   }
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
-// Entry point
+// Entry points
 // ---------------------------------------------------------------------------
 
-std::vector<Finding> lint_source(const std::string& path_label,
-                                 const std::string& content,
-                                 const std::string& sibling_header) {
-  std::vector<Finding> findings;
-  std::vector<Allow> allows = collect_allows(content, path_label, findings);
+/// [0] unused; [i] = line i of the sanitized text has no code on it
+/// (blank, or comment-only before stripping).
+std::vector<bool> blank_lines(const std::string& sanitized) {
+  std::vector<bool> blank{true};
+  bool cur = true;
+  for (char c : sanitized) {
+    if (c == '\n') {
+      blank.push_back(cur);
+      cur = true;
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur = false;
+    }
+  }
+  blank.push_back(cur);
+  return blank;
+}
 
-  const std::string s = strip_comments_and_strings(content);
+void run_line_rules(const std::string& path, const std::string& raw,
+                    const std::string& sibling_header,
+                    std::vector<Finding>& findings) {
+  const std::string s = strip_comments_and_strings(raw);
   const std::vector<Token> toks = tokenize(s);
   const LineIndex lines(s);
+  rule_unordered_iteration(path, s, toks, lines, findings);
+  rule_raw_entropy(path, s, toks, lines, findings);
+  rule_pointer_sort(path, s, toks, lines, findings);
+  rule_float_accumulate(path, s, sibling_header, toks, lines, findings);
+  rule_uninit_pod_digest(path, raw, s, toks, lines, findings);
+}
 
-  rule_unordered_iteration(path_label, s, toks, lines, findings);
-  rule_raw_entropy(path_label, s, toks, lines, findings);
-  rule_pointer_sort(path_label, s, toks, lines, findings);
-  rule_float_accumulate(path_label, s, sibling_header, toks, lines, findings);
-  rule_uninit_pod_digest(path_label, content, s, toks, lines, findings);
+}  // namespace
+
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  const ProjectOptions& opts) {
+  std::vector<Finding> findings;
+  std::map<std::string, std::vector<Allow>> allows;
+  std::map<std::string, std::vector<bool>> blanks;
+  for (const SourceFile& f : files) {
+    allows[f.path] = collect_allows(f.content, f.path, findings);
+    blanks[f.path] = blank_lines(strip_comments_and_strings(f.content));
+    run_line_rules(f.path, f.content, f.sibling_header, findings);
+  }
+
+  if (opts.taint || opts.locks) {
+    const CallGraph graph = build_call_graph(files);
+    if (opts.taint) run_taint_pass(files, graph, findings);
+    if (opts.locks) run_lock_pass(files, graph, findings);
+  }
+  if (opts.dead_keys) run_dead_key_pass(files, findings);
 
   // Apply suppressions: an allow() covers findings of its rule on its own
   // line or on the next code line — lines that are blank after stripping
   // (comment-only, e.g. a wrapped reason) are skipped, so a multi-line
   // annotation comment still anchors to the statement below it.
-  std::vector<bool> blank_line{true};  // [0] unused; [i] = line i blank in `s`
-  {
-    bool cur = true;
-    for (char c : s) {
-      if (c == '\n') {
-        blank_line.push_back(cur);
-        cur = true;
-      } else if (!std::isspace(static_cast<unsigned char>(c))) {
-        cur = false;
-      }
-    }
-    blank_line.push_back(cur);
-  }
-  const auto next_code_line = [&](int from) {
+  const auto next_code_line = [](const std::vector<bool>& blank, int from) {
     int l = from + 1;
-    while (l < static_cast<int>(blank_line.size()) && blank_line[l]) ++l;
+    while (l < static_cast<int>(blank.size()) && blank[l]) ++l;
     return l;
   };
   for (Finding& f : findings) {
     if (f.rule == kBadAllow) continue;
-    for (Allow& a : allows) {
+    const auto it = allows.find(f.file);
+    if (it == allows.end()) continue;
+    const std::vector<bool>& blank = blanks[f.file];
+    for (Allow& a : it->second) {
       if (a.rule == f.rule &&
-          (a.line == f.line || next_code_line(a.line) == f.line)) {
+          (a.line == f.line || next_code_line(blank, a.line) == f.line)) {
         f.suppressed = true;
         f.allow_reason = a.reason;
         a.used = true;
@@ -1063,9 +1035,22 @@ std::vector<Finding> lint_source(const std::string& path_label,
       }
     }
   }
-  for (const Allow& a : allows) {
-    if (!a.used) {
-      findings.push_back({path_label, a.line, kStaleAllow,
+
+  // Stale-allow auditing only covers rules whose pass actually ran: a tree
+  // scanned without --taint must not call the taint waivers stale.
+  std::set<std::string> active = {kUnorderedIteration, kRawEntropy,
+                                  kPointerSort, kFloatAccumulate,
+                                  kUninitPodDigest};
+  if (opts.taint) active.insert(kTaintFlow);
+  if (opts.locks) {
+    active.insert(kLockOrder);
+    active.insert(kUnguardedWrite);
+  }
+  if (opts.dead_keys) active.insert(kDeadSpecKey);
+  for (const auto& [path, file_allows] : allows) {
+    for (const Allow& a : file_allows) {
+      if (a.used || active.count(a.rule) == 0) continue;
+      findings.push_back({path, a.line, kStaleAllow,
                           "allow(" + a.rule +
                               ") suppresses nothing on this line or the "
                               "next code line — delete it",
@@ -1075,10 +1060,18 @@ std::vector<Finding> lint_source(const std::string& path_label,
 
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
                      if (a.line != b.line) return a.line < b.line;
                      return a.rule < b.rule;
                    });
   return findings;
+}
+
+std::vector<Finding> lint_source(const std::string& path_label,
+                                 const std::string& content,
+                                 const std::string& sibling_header) {
+  return lint_project({{path_label, content, sibling_header}},
+                      ProjectOptions{});
 }
 
 }  // namespace nexit::lint

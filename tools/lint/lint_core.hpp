@@ -20,6 +20,22 @@
 //                         in digest-adjacent files (padding/garbage bits
 //                         would reach the FNV digests)
 //
+// On top of the line-local rules, lint_project() runs cross-TU passes over
+// a whole-program call graph (lint_graph.hpp):
+//
+//   taint-flow            a nondeterminism source value (wall clock, raw
+//                         entropy, pointer-to-int cast, thread id,
+//                         unordered iteration order) flows — possibly
+//                         through function return values across TUs —
+//                         into a digest/metric/output sink; anchored and
+//                         waivable ONLY at the source line
+//   lock-order            two functions acquire the same pair of mutexes
+//                         in opposite orders (ABBA deadlock shape)
+//   unguarded-write       write to shared state inside a ThreadPool worker
+//                         lambda with no lock/atomic in scope
+//   dead-spec-key         sim::spec_key_registry entry never read by any
+//                         flags/spec accessor
+//
 // Findings are suppressible only by an inline annotation on the same line
 // or directly above the flagged statement (comment-only lines in between —
 // a wrapped reason — are skipped):
@@ -47,9 +63,9 @@ struct Rule {
   std::string rationale;  // why that is a determinism hazard in this repo
 };
 
-/// The five hazard rules followed by the two annotation meta-rules
-/// (bad-allow, stale-allow). Order is the presentation order of
-/// --list-rules and of the generated docs table.
+/// The five line-local hazard rules, the four cross-TU pass rules, then
+/// the two annotation meta-rules (bad-allow, stale-allow). Order is the
+/// presentation order of --list-rules and of the generated docs table.
 const std::vector<Rule>& rule_table();
 
 bool known_rule(const std::string& name);
@@ -73,6 +89,30 @@ struct Finding {
 std::vector<Finding> lint_source(const std::string& path_label,
                                  const std::string& content,
                                  const std::string& sibling_header = "");
+
+/// One file of a project-level lint run.
+struct SourceFile {
+  std::string path;            // repo-relative label, echoed into findings
+  std::string content;         // raw text
+  std::string sibling_header;  // matching .hpp text when path is a .cpp
+};
+
+/// Which cross-TU passes lint_project runs on top of the line-local
+/// rules. An allow() for a pass rule is only audited for staleness when
+/// that pass actually ran — a tree scanned without --taint must not call
+/// the taint waivers stale.
+struct ProjectOptions {
+  bool taint = false;
+  bool locks = false;
+  bool dead_keys = false;
+};
+
+/// Lint a whole project: line-local rules per file, then the enabled
+/// cross-TU passes over the shared call graph, then one unified
+/// allow()/stale-allow application. Findings are sorted by
+/// (file, line, rule).
+std::vector<Finding> lint_project(const std::vector<SourceFile>& files,
+                                  const ProjectOptions& opts);
 
 /// Comments and the bodies of string/char literals blanked with spaces;
 /// newlines and overall layout preserved (so byte offsets map to the same

@@ -1,0 +1,329 @@
+#include "lint_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "lint_text.hpp"
+
+namespace nexit::lint {
+namespace {
+
+/// Tokens that introduce something other than a function when followed by
+/// `(` — control flow, casts, builtin-type functional casts, and specifiers.
+bool non_function_word(const std::string& w) {
+  static const std::set<std::string> kWords = {
+      "if",           "for",         "while",       "switch",
+      "catch",        "return",      "sizeof",      "alignof",
+      "alignas",      "decltype",    "noexcept",    "new",
+      "delete",       "throw",       "static_assert", "assert",
+      "defined",      "operator",    "co_await",    "co_yield",
+      "co_return",    "typeid",      "case",        "goto",
+      "else",         "do",          "static_cast", "const_cast",
+      "dynamic_cast", "reinterpret_cast",
+      "int",          "char",        "bool",        "double",
+      "float",        "long",        "short",       "unsigned",
+      "signed",       "void",        "auto",        "requires",
+      "explicit",     "constexpr",   "consteval",   "constinit",
+      "template",     "typename",    "using",       "namespace",
+      "struct",       "class",       "enum",        "union",
+      "public",       "private",     "protected",   "try"};
+  return kWords.count(w) != 0;
+}
+
+/// A namespace or class body: byte range of its braces plus the name it
+/// contributes to qualified names of everything inside.
+struct ScopeSpan {
+  std::size_t begin = 0;  // offset of '{'
+  std::size_t end = 0;    // offset of matching '}'
+  std::string name;       // "" for anonymous namespaces/structs
+};
+
+/// Namespace and struct/class body spans of one sanitized file.
+std::vector<ScopeSpan> collect_scope_spans(const std::string& s,
+                                           const std::vector<Token>& toks) {
+  std::vector<ScopeSpan> spans;
+  for (std::size_t ti = 0; ti < toks.size(); ++ti) {
+    const Token& t = toks[ti];
+    if (t.text == "namespace") {
+      // `namespace a::b {` — aliases (`= ...`) and using-directives are
+      // ruled out by requiring a `{` right after the (optional) name.
+      std::size_t p = skip_ws(s, t.end);
+      std::string name;
+      while (p < s.size() && (ident_char(s[p]) || s[p] == ':')) name += s[p++];
+      p = skip_ws(s, p);
+      if (p >= s.size() || s[p] != '{') continue;
+      const std::size_t close = find_matching(s, p, '{', '}');
+      if (close == std::string::npos) continue;
+      spans.push_back({p, close, name});
+      continue;
+    }
+    if (t.text != "struct" && t.text != "class") continue;
+    if (ti > 0 && toks[ti - 1].text == "enum") continue;  // enum class
+    std::size_t p = skip_ws(s, t.end);
+    while (p + 1 < s.size() && s[p] == '[' && s[p + 1] == '[') {
+      const std::size_t close = find_matching(s, p, '[', ']');
+      if (close == std::string::npos) break;
+      p = skip_ws(s, close + 1);
+    }
+    if (p >= s.size() || !ident_start(s[p])) continue;  // anonymous
+    std::size_t e = p;
+    while (e < s.size() && ident_char(s[e])) ++e;
+    const std::string name = s.substr(p, e - p);
+    // Find the introducing `{`: skip template-argument lists and a base
+    // clause; bail on `;` (forward decl), `(`/`)` (elaborated type in a
+    // signature), or `=` (type alias RHS).
+    std::size_t q = e;
+    std::size_t open = std::string::npos;
+    while (q < s.size()) {
+      const char c = s[q];
+      if (c == '{') {
+        open = q;
+        break;
+      }
+      if (c == ';' || c == '(' || c == ')' || c == '=') break;
+      if (c == '<') {
+        const std::size_t close = find_matching(s, q, '<', '>');
+        if (close == std::string::npos) break;
+        q = close + 1;
+        continue;
+      }
+      ++q;
+    }
+    if (open == std::string::npos) continue;
+    const std::size_t close = find_matching(s, open, '{', '}');
+    if (close == std::string::npos) continue;
+    spans.push_back({open, close, name});
+  }
+  return spans;
+}
+
+/// Qualification contributed by the scopes containing `pos`, outermost
+/// first, e.g. "nexit::obs::Registry".
+std::string scope_prefix_at(const std::vector<ScopeSpan>& spans,
+                            std::size_t pos) {
+  // Spans were collected in token order (outer before inner for nested
+  // scopes), so appending containing names in order is outermost-first.
+  std::string prefix;
+  for (const ScopeSpan& sp : spans) {
+    if (pos <= sp.begin || pos >= sp.end || sp.name.empty()) continue;
+    if (!prefix.empty()) prefix += "::";
+    prefix += sp.name;
+  }
+  return prefix;
+}
+
+/// The spelled name at token `t` including any explicit `a::b::` prefix
+/// written before it (walks back over `::`-joined identifiers).
+std::string spelled_with_prefix(const std::string& s, const Token& t) {
+  std::string spelled = t.text;
+  std::size_t p = t.begin;
+  while (p >= 2 && s[p - 1] == ':' && s[p - 2] == ':') {
+    std::size_t e = p - 2;  // one past the previous component
+    std::size_t b = e;
+    while (b > 0 && ident_char(s[b - 1])) --b;
+    if (b == e) break;  // `::name` at global scope — nothing to prepend
+    spelled = s.substr(b, e - b) + "::" + spelled;
+    p = b;
+  }
+  return spelled;
+}
+
+/// Starting at the char right after a candidate's `)`, decides whether a
+/// function *definition* body follows, skipping trailing specifiers
+/// (`const`, `noexcept(...)`), a trailing return type, and a constructor
+/// initializer list. Returns the offset of the body `{`, or npos.
+std::size_t find_definition_body(const std::string& s, std::size_t p) {
+  while (p < s.size()) {
+    p = skip_ws(s, p);
+    if (p >= s.size()) return std::string::npos;
+    const char c = s[p];
+    if (c == '{') return p;
+    if (c == ';' || c == ',' || c == ')' || c == ']' || c == '}' || c == '=')
+      return std::string::npos;
+    if (c == ':' && (p + 1 >= s.size() || s[p + 1] != ':')) {
+      // Constructor initializer list: skip `name(init)` / `name{init}`
+      // groups until the `{` that starts the body. An opening brace right
+      // after an identifier is a brace-initializer, not the body.
+      std::size_t q = p + 1;
+      while (q < s.size()) {
+        q = skip_ws(s, q);
+        if (q >= s.size()) return std::string::npos;
+        const char d = s[q];
+        if (d == '(' || (d == '{' && [&] {
+              const std::size_t prev = prev_nonspace(s, q);
+              return prev != std::string::npos && ident_char(s[prev]);
+            }())) {
+          const std::size_t close =
+              find_matching(s, q, d, d == '(' ? ')' : '}');
+          if (close == std::string::npos) return std::string::npos;
+          q = close + 1;
+          continue;
+        }
+        if (d == '{') return q;  // the body
+        if (d == ';') return std::string::npos;
+        ++q;
+      }
+      return std::string::npos;
+    }
+    if (c == '<') {  // template args in a trailing return type
+      const std::size_t close = find_matching(s, p, '<', '>');
+      if (close == std::string::npos) return std::string::npos;
+      p = close + 1;
+      continue;
+    }
+    if (c == '(') {  // noexcept(...) / __attribute__((...))
+      const std::size_t close = find_matching(s, p, '(', ')');
+      if (close == std::string::npos) return std::string::npos;
+      p = close + 1;
+      continue;
+    }
+    if (c == '-' && p + 1 < s.size() && s[p + 1] == '>') {
+      p += 2;
+      continue;
+    }
+    if (c == ':' || c == '&' || c == '*') {
+      ++p;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t e = p;
+      while (e < s.size() && ident_char(s[e])) ++e;
+      p = e;  // const / noexcept / override / final / trailing type tokens
+      continue;
+    }
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+int CallGraph::enclosing_function(int file_index, std::size_t pos) const {
+  int best = -1;
+  std::size_t best_size = 0;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const FunctionDef& f = functions[i];
+    if (f.file != file_index || pos <= f.body_begin || pos >= f.body_end)
+      continue;
+    const std::size_t size = f.body_end - f.body_begin;
+    if (best < 0 || size < best_size) {
+      best = static_cast<int>(i);
+      best_size = size;
+    }
+  }
+  return best;
+}
+
+std::vector<int> CallGraph::resolve(const std::string& spelled) const {
+  std::vector<int> out;
+  if (spelled.find("::") == std::string::npos) {
+    auto [b, e] = by_name.equal_range(spelled);
+    for (auto it = b; it != e; ++it) out.push_back(it->second);
+    return out;
+  }
+  const std::string suffix = "::" + spelled;
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const std::string& q = functions[i].qualified;
+    if (q == spelled || path_ends_with(q, suffix))
+      out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+CallGraph build_call_graph(const std::vector<SourceFile>& files) {
+  CallGraph graph;
+  graph.sanitized.reserve(files.size());
+  for (const SourceFile& f : files)
+    graph.sanitized.push_back(strip_comments_and_strings(f.content));
+
+  // Definitions first, so call resolution sees the whole program.
+  // def_header_tokens[file] = begin offsets of tokens that ARE definition
+  // names (excluded from the call scan below).
+  std::vector<std::set<std::size_t>> def_header_tokens(files.size());
+  std::vector<std::vector<ScopeSpan>> spans(files.size());
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& s = graph.sanitized[fi];
+    const std::vector<Token> toks = tokenize(s);
+    const LineIndex lines(s);
+    spans[fi] = collect_scope_spans(s, toks);
+    for (const Token& t : toks) {
+      if (non_function_word(t.text)) continue;
+      if (member_access_before(s, t.begin)) continue;
+      // The LAST element of a constructor initializer list
+      // (`: n_(n), scale_(1.0) {`) is followed by the body brace and would
+      // otherwise scan as a one-line definition. Initializer elements are
+      // unqualified names directly preceded by `,` or a single `:` — a
+      // position no real definition name can occupy.
+      const std::size_t before = prev_nonspace(s, t.begin);
+      if (before != std::string::npos &&
+          (s[before] == ',' ||
+           (s[before] == ':' && (before == 0 || s[before - 1] != ':'))))
+        continue;
+      const std::size_t open = skip_ws(s, t.end);
+      if (open >= s.size() || s[open] != '(') continue;
+      const std::size_t close = find_matching(s, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::size_t body = find_definition_body(s, close + 1);
+      if (body == std::string::npos) continue;
+      const std::size_t body_close = find_matching(s, body, '{', '}');
+      if (body_close == std::string::npos) continue;
+      const std::string spelled = spelled_with_prefix(s, t);
+      const std::string prefix = scope_prefix_at(spans[fi], t.begin);
+      FunctionDef def;
+      def.qualified = prefix.empty() ? spelled : prefix + "::" + spelled;
+      def.name = t.text;
+      def.file = static_cast<int>(fi);
+      def.line = lines.line_of(t.begin);
+      def.body_begin = body;
+      def.body_end = body_close;
+      def_header_tokens[fi].insert(t.begin);
+      graph.by_name.insert({def.name, static_cast<int>(graph.functions.size())});
+      graph.functions.push_back(std::move(def));
+    }
+  }
+
+  // Call sites: every remaining `name(` inside some definition body.
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& s = graph.sanitized[fi];
+    const LineIndex lines(s);
+    for (const Token& t : tokenize(s)) {
+      if (non_function_word(t.text)) continue;
+      if (def_header_tokens[fi].count(t.begin) != 0) continue;
+      const std::size_t open = skip_ws(s, t.end);
+      if (open >= s.size() || s[open] != '(') continue;
+      const int caller =
+          graph.enclosing_function(static_cast<int>(fi), t.begin);
+      if (caller < 0) continue;
+      for (int callee : graph.resolve(spelled_with_prefix(s, t))) {
+        graph.edges.push_back({caller, callee, lines.line_of(t.begin)});
+      }
+    }
+  }
+  return graph;
+}
+
+std::string to_dot(const CallGraph& graph,
+                   const std::vector<SourceFile>& files) {
+  std::set<std::string> nodes;
+  for (const FunctionDef& f : graph.functions) nodes.insert(f.qualified);
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const CallEdge& e : graph.edges) {
+    const std::string& a = graph.functions[e.caller].qualified;
+    const std::string& b = graph.functions[e.callee].qualified;
+    if (a != b) edges.insert({a, b});
+  }
+  std::ostringstream os;
+  os << "// nexit determinism-lint call graph: " << files.size() << " files, "
+     << nodes.size() << " functions (overload sets merged), " << edges.size()
+     << " call edges\n";
+  os << "digraph nexit_callgraph {\n";
+  os << "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (const std::string& n : nodes) os << "  \"" << n << "\";\n";
+  for (const auto& [a, b] : edges)
+    os << "  \"" << a << "\" -> \"" << b << "\";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace nexit::lint

@@ -1,0 +1,69 @@
+#pragma once
+
+// Pass 1 of the cross-TU determinism analysis: a heuristic symbol indexer.
+//
+// Built on the same tokenizer as the line-local rules, it walks every file
+// of the project, records function definitions (with namespace/class
+// qualification), and resolves call sites to definitions by qualified-name
+// suffix match — so `util::digest_hex(...)` in one TU links to
+// `nexit::util::digest_hex` defined in another. Overloads share a
+// qualified name and are resolved as a set (a call edge goes to every
+// definition the spelled name could reach); for the determinism passes that
+// over-approximation is the conservative direction.
+//
+// Like the rest of the lint this is NOT a C++ parser. Known blind spots,
+// pinned by the fixture tests: calls through function pointers and
+// std::function land nowhere; template instantiation is invisible (the
+// template definition is indexed once); macro-generated functions are
+// indexed as spelled after the preprocessor would have run only if they
+// appear literally in the text.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace nexit::lint {
+
+struct FunctionDef {
+  std::string qualified;  // e.g. "nexit::sim::ScenarioCtx::axis_values"
+  std::string name;       // last component, e.g. "axis_values"
+  int file = -1;          // index into the file list given to the builder
+  int line = 0;           // line of the definition header (the name token)
+  std::size_t body_begin = 0;  // offset of the body '{' in the sanitized text
+  std::size_t body_end = 0;    // offset of the matching '}'
+};
+
+struct CallEdge {
+  int caller = -1;  // index into CallGraph::functions
+  int callee = -1;  // index into CallGraph::functions
+  int line = 0;     // line of the call site
+};
+
+struct CallGraph {
+  std::vector<FunctionDef> functions;
+  std::vector<CallEdge> edges;
+  std::vector<std::string> sanitized;  // per input file, comments/strings blanked
+
+  /// Indices of functions whose last name component is `name`.
+  std::multimap<std::string, int> by_name;
+
+  /// Innermost function whose body contains offset `pos` of file
+  /// `file_index`, or -1.
+  [[nodiscard]] int enclosing_function(int file_index, std::size_t pos) const;
+
+  /// All definitions a spelled (possibly qualified) callee name resolves
+  /// to: exact qualified match, or suffix match on `::` boundaries.
+  [[nodiscard]] std::vector<int> resolve(const std::string& spelled) const;
+};
+
+CallGraph build_call_graph(const std::vector<SourceFile>& files);
+
+/// Graphviz DOT rendering: one node per qualified name (overload sets
+/// merged), deduplicated edges, both sorted so the output is byte-stable.
+std::string to_dot(const CallGraph& graph,
+                   const std::vector<SourceFile>& files);
+
+}  // namespace nexit::lint

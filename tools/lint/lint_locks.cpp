@@ -1,0 +1,329 @@
+// Pass 3 of the determinism lint: lock discipline.
+//
+// lock-order: per function, the sequence of distinct mutexes acquired
+// (std::lock_guard / std::unique_lock constructions and explicit .lock()
+// calls; std::scoped_lock acquires atomically and is excluded from
+// ordering). Mutex identity is heuristic: the spelled argument expression,
+// qualified by the enclosing class (from the call graph's qualified
+// function names) for member-looking mutexes and by file for free ones.
+// Two functions acquiring the same pair in opposite orders are both
+// flagged at their second acquisition — the classic ABBA deadlock shape.
+//
+// unguarded-write: writes to shared state inside worker lambdas handed to
+// ThreadPool (submit / parallel_for) with no lock/atomic in scope.
+// Writes to variables declared inside the lambda and index-addressed slot
+// writes (`out[i] = ...` — the sanctioned sharding pattern, each worker
+// owns its slot) are exempt, as is any lambda that takes a lock or
+// touches an atomic.
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "lint_passes.hpp"
+#include "lint_text.hpp"
+
+namespace nexit::lint {
+namespace {
+
+const char* const kLockOrder = "lock-order";
+const char* const kUnguardedWrite = "unguarded-write";
+
+struct Acquisition {
+  std::string key;  // normalized mutex identity
+  int line = 0;
+};
+
+std::string strip_spaces(const std::string& s) {
+  std::string out;
+  for (char c : s)
+    if (!is_space(c)) out += c;
+  return out;
+}
+
+/// Class prefix of a qualified function name ("a::B::f" -> "a::B").
+std::string owner_prefix(const std::string& qualified) {
+  const std::size_t at = qualified.rfind("::");
+  return at == std::string::npos ? std::string() : qualified.substr(0, at);
+}
+
+/// Normalized identity of a mutex expression acquired inside `fn`:
+/// member-style names attach to the enclosing class, free names to the
+/// file, and already-qualified names stand alone.
+std::string mutex_key(std::string expr, const FunctionDef& fn,
+                      const std::string& path) {
+  expr = strip_spaces(expr);
+  if (expr.rfind("this->", 0) == 0) expr = expr.substr(6);
+  if (!expr.empty() && expr[0] == '*') expr = expr.substr(1);
+  if (expr.find("::") != std::string::npos) return expr;
+  const std::string owner = owner_prefix(fn.qualified);
+  if (!owner.empty()) return owner + "::" + expr;
+  return path + "::" + expr;
+}
+
+/// Mutex-acquisition sequence of one function body, in program order,
+/// first acquisition per distinct mutex.
+std::vector<Acquisition> acquisitions(const std::string& s,
+                                      const FunctionDef& fn,
+                                      const std::string& path,
+                                      const LineIndex& lines) {
+  std::vector<Acquisition> out;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& expr, std::size_t pos) {
+    const std::string key = mutex_key(expr, fn, path);
+    if (key.empty() || !seen.insert(key).second) return;
+    out.push_back({key, lines.line_of(pos)});
+  };
+  for (const Token& t : tokenize(s)) {
+    if (t.begin <= fn.body_begin || t.end >= fn.body_end) continue;
+    if (t.text == "lock_guard" || t.text == "unique_lock") {
+      std::size_t p = skip_ws(s, t.end);
+      if (p < s.size() && s[p] == '<') {
+        const std::size_t close = find_matching(s, p, '<', '>');
+        if (close == std::string::npos) continue;
+        p = skip_ws(s, close + 1);
+      }
+      // Guard variable name, then the ctor argument list.
+      while (p < s.size() && ident_char(s[p])) ++p;
+      p = skip_ws(s, p);
+      if (p >= s.size() || s[p] != '(') continue;
+      const std::size_t close = find_matching(s, p, '(', ')');
+      if (close == std::string::npos) continue;
+      // First ctor argument only (a deferred/adopt tag would follow it).
+      std::string arg = s.substr(p + 1, close - p - 1);
+      const std::size_t comma = arg.find(',');
+      if (comma != std::string::npos) arg = arg.substr(0, comma);
+      add(arg, t.begin);
+      continue;
+    }
+    if (t.text == "lock" && !member_access_before(s, t.begin)) continue;
+    if (t.text == "lock") {
+      const std::size_t p = skip_ws(s, t.end);
+      if (p >= s.size() || s[p] != '(') continue;
+      // Walk back over `expr.` / `expr->`: the locked object.
+      std::size_t e = prev_nonspace(s, t.begin);  // '.' or '>'
+      if (e == std::string::npos) continue;
+      if (s[e] == '>' && e > 0 && s[e - 1] == '-') --e;
+      std::size_t b = e;  // now at the separator
+      while (b > 0 && (ident_char(s[b - 1]) || s[b - 1] == '_')) --b;
+      if (b == e) continue;
+      add(s.substr(b, e - b), t.begin);
+    }
+  }
+  return out;
+}
+
+void lock_order(const std::vector<SourceFile>& files, const CallGraph& graph,
+                std::vector<Finding>& findings) {
+  struct Witness {
+    int fn = -1;
+    int line = 0;  // of the second acquisition
+  };
+  // (first, second) -> first function observed acquiring in that order.
+  std::map<std::pair<std::string, std::string>, Witness> order;
+  std::vector<LineIndex> lines;
+  for (const std::string& s : graph.sanitized) lines.emplace_back(s);
+
+  std::set<std::tuple<int, int>> flagged;  // (fn, line) dedup
+  for (std::size_t fi = 0; fi < graph.functions.size(); ++fi) {
+    const FunctionDef& fn = graph.functions[fi];
+    const std::vector<Acquisition> acq = acquisitions(
+        graph.sanitized[fn.file], fn, files[fn.file].path, lines[fn.file]);
+    for (std::size_t a = 0; a < acq.size(); ++a) {
+      for (std::size_t b = a + 1; b < acq.size(); ++b) {
+        const auto fwd = std::make_pair(acq[a].key, acq[b].key);
+        const auto rev = std::make_pair(acq[b].key, acq[a].key);
+        const auto inv = order.find(rev);
+        if (inv != order.end()) {
+          const FunctionDef& other = graph.functions[inv->second.fn];
+          auto flag = [&](const FunctionDef& in, int line,
+                          const FunctionDef& vs) {
+            if (!flagged.insert({static_cast<int>(&in - graph.functions.data()),
+                                 line})
+                     .second)
+              return;
+            findings.push_back(
+                {files[in.file].path, line, kLockOrder,
+                 "`" + in.qualified + "` acquires `" + acq[a].key + "` and `" +
+                     acq[b].key + "` in the opposite order of `" +
+                     vs.qualified + "` (" + files[vs.file].path +
+                     ") — inconsistent pairwise lock order can deadlock",
+                 false, ""});
+          };
+          flag(fn, acq[b].line, other);
+          flag(other, inv->second.line, fn);
+        }
+        if (order.find(fwd) == order.end())
+          order[fwd] = {static_cast<int>(fi), acq[b].line};
+      }
+    }
+  }
+}
+
+/// Names declared inside `body` (heuristic: `auto x =`, `T x =`, `T x;`-less
+/// forms are rare in lambdas; also harvests for-loop induction variables
+/// and structured bindings).
+std::set<std::string> lambda_locals(const std::string& body) {
+  std::set<std::string> locals;
+  const std::vector<Token> toks = tokenize(body);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    const Token& a = toks[i];
+    const Token& b = toks[i + 1];
+    // Two adjacent identifiers where the second is followed by `=`, `;`,
+    // `{`, `(`, `:` (range-for) — `a` is a type, `b` the declared name.
+    if (b.begin < a.end + 1) continue;
+    bool adjacent = true;
+    for (std::size_t k = a.end; k < b.begin; ++k) {
+      const char c = body[k];
+      if (!is_space(c) && c != '&' && c != '*' && c != ':' && c != '<' &&
+          c != '>' && c != ',') {
+        adjacent = false;
+        break;
+      }
+    }
+    if (!adjacent) continue;
+    const std::size_t after = skip_ws(body, b.end);
+    if (after < body.size() &&
+        (body[after] == '=' || body[after] == ';' || body[after] == '{' ||
+         body[after] == ':' || body[after] == ')'))
+      locals.insert(b.text);
+  }
+  return locals;
+}
+
+void unguarded_writes(const std::vector<SourceFile>& files,
+                      const CallGraph& graph,
+                      std::vector<Finding>& findings) {
+  std::vector<LineIndex> lines;
+  for (const std::string& s : graph.sanitized) lines.emplace_back(s);
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& s = graph.sanitized[fi];
+    for (const Token& t : tokenize(s)) {
+      if (t.text != "submit" && t.text != "parallel_for") continue;
+      const std::size_t open = skip_ws(s, t.end);
+      if (open >= s.size() || s[open] != '(') continue;
+      const std::size_t close = find_matching(s, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::string args = s.substr(open + 1, close - open - 1);
+      // The worker lambda: a `[` that is a lambda introducer with a
+      // by-reference capture (by-value captures cannot write shared state).
+      std::size_t lb = std::string::npos;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] != '[') continue;
+        const std::size_t prev = prev_nonspace(args, i);
+        if (prev != std::string::npos &&
+            (ident_char(args[prev]) || args[prev] == ')' ||
+             args[prev] == ']'))
+          continue;  // subscript
+        lb = i;
+        break;
+      }
+      if (lb == std::string::npos) continue;
+      const std::size_t cap_close = find_matching(args, lb, '[', ']');
+      if (cap_close == std::string::npos) continue;
+      if (args.substr(lb, cap_close - lb + 1).find('&') == std::string::npos)
+        continue;
+      std::size_t p = skip_ws(args, cap_close + 1);
+      std::set<std::string> params;
+      if (p < args.size() && args[p] == '(') {
+        const std::size_t pc = find_matching(args, p, '(', ')');
+        if (pc == std::string::npos) continue;
+        for (const Token& pt : tokenize(args.substr(p + 1, pc - p - 1)))
+          params.insert(pt.text);
+        p = pc + 1;
+      }
+      const std::size_t bb = args.find('{', p);
+      if (bb == std::string::npos) continue;
+      const std::size_t bc = find_matching(args, bb, '{', '}');
+      if (bc == std::string::npos) continue;
+      const std::string body = args.substr(bb + 1, bc - bb - 1);
+      // A lambda that locks or uses atomics is doing its own discipline.
+      bool guarded = false;
+      for (const Token& bt : tokenize(body))
+        guarded |= bt.text == "lock_guard" || bt.text == "unique_lock" ||
+                   bt.text == "scoped_lock" || bt.text == "lock" ||
+                   bt.text == "atomic" || bt.text == "fetch_add" ||
+                   bt.text == "fetch_sub" || bt.text == "store" ||
+                   bt.text == "exchange" || bt.text == "compare_exchange_weak" ||
+                   bt.text == "compare_exchange_strong";
+      if (guarded) continue;
+      const std::set<std::string> locals = lambda_locals(body);
+      // Writes: `x = ...` / `x += ...` / `++x` / `x++` where x is neither a
+      // lambda local, a parameter, nor a subscripted slot.
+      const std::size_t body_abs = open + 1 + bb + 1;
+      int depth = 0;
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        const char c = body[i];
+        if (c == '(' || c == '[') ++depth;
+        else if (c == ')' || c == ']') --depth;
+        bool is_write = false;
+        std::size_t lhs_end = std::string::npos;
+        if (c == '=' && depth == 0) {
+          const char prev = i > 0 ? body[i - 1] : '\0';
+          const char next = i + 1 < body.size() ? body[i + 1] : '\0';
+          if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+              prev == '>')
+            continue;
+          const bool compound = prev == '+' || prev == '-' || prev == '*' ||
+                                prev == '/' || prev == '%' || prev == '&' ||
+                                prev == '|' || prev == '^';
+          lhs_end = prev_nonspace(body, compound ? i - 1 : i);
+          is_write = true;
+        } else if ((c == '+' || c == '-') && i + 1 < body.size() &&
+                   body[i + 1] == c) {
+          // ++x / x++ — treat the adjacent identifier as written.
+          std::size_t e = prev_nonspace(body, i);
+          if (e != std::string::npos && ident_char(body[e])) {
+            lhs_end = e;
+            is_write = true;
+          } else {
+            const std::size_t q = skip_ws(body, i + 2);
+            if (q < body.size() && ident_start(body[q])) {
+              std::size_t qe = q;
+              while (qe < body.size() && ident_char(body[qe])) ++qe;
+              lhs_end = qe - 1;
+              is_write = true;
+            }
+          }
+          ++i;  // skip the second + / -
+        }
+        if (!is_write || lhs_end == std::string::npos ||
+            !ident_char(body[lhs_end]))
+          continue;
+        std::size_t b = lhs_end;
+        while (b > 0 && ident_char(body[b - 1])) --b;
+        const std::string name = body.substr(b, lhs_end - b + 1);
+        if (locals.count(name) != 0 || params.count(name) != 0) continue;
+        const std::size_t before = prev_nonspace(body, b);
+        if (before != std::string::npos && body[before] == ']')
+          continue;  // member of a subscripted slot: out[i].field = ...
+        // Declaration on the same statement (e.g. `auto x = ...`)?
+        // lambda_locals caught those; a leading subscript means a slot
+        // write, the sanctioned sharding pattern.
+        bool subscripted = false;
+        std::size_t q = lhs_end + 1;
+        q = skip_ws(body, q);
+        if (q < body.size() && body[q] == '[') subscripted = true;
+        if (subscripted) continue;
+        findings.push_back(
+            {files[fi].path, lines[fi].line_of(body_abs + b),
+             kUnguardedWrite,
+             "write to `" + name + "` inside a ThreadPool worker lambda "
+             "with no lock or atomic in scope — racy, and the winner is "
+             "schedule-dependent; guard it, make it atomic, or give each "
+             "worker its own slot",
+             false, ""});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_lock_pass(const std::vector<SourceFile>& files,
+                   const CallGraph& graph, std::vector<Finding>& findings) {
+  lock_order(files, graph, findings);
+  unguarded_writes(files, graph, findings);
+}
+
+}  // namespace nexit::lint

@@ -1,0 +1,86 @@
+#include "lint_sarif.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nexit::lint {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  os << "  \"version\": \"2.1.0\",\n";
+  os << "  \"runs\": [\n    {\n";
+  os << "      \"tool\": {\n        \"driver\": {\n";
+  os << "          \"name\": \"determinism_lint\",\n";
+  os << "          \"informationUri\": "
+        "\"https://example.invalid/nexit/tools/lint\",\n";
+  os << "          \"rules\": [\n";
+  const auto& rules = rule_table();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\n";
+    os << "              \"id\": \"" << json_escape(rules[i].name) << "\",\n";
+    os << "              \"shortDescription\": { \"text\": \""
+       << json_escape(rules[i].summary) << "\" },\n";
+    os << "              \"fullDescription\": { \"text\": \""
+       << json_escape(rules[i].rationale) << "\" }\n";
+    os << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n        }\n      },\n";
+  os << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n";
+    os << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n";
+    os << "          \"level\": \"" << (f.suppressed ? "note" : "error")
+       << "\",\n";
+    os << "          \"message\": { \"text\": \"" << json_escape(f.message)
+       << "\" },\n";
+    os << "          \"locations\": [\n            {\n";
+    os << "              \"physicalLocation\": {\n";
+    os << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(f.file) << "\" },\n";
+    os << "                \"region\": { \"startLine\": " << f.line
+       << " }\n";
+    os << "              }\n            }\n          ]";
+    if (f.suppressed) {
+      os << ",\n          \"suppressions\": [\n            {\n";
+      os << "              \"kind\": \"inSource\",\n";
+      os << "              \"justification\": \""
+         << json_escape(f.allow_reason) << "\"\n";
+      os << "            }\n          ]";
+    }
+    os << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n    }\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace nexit::lint

@@ -1,0 +1,20 @@
+#pragma once
+
+// SARIF 2.1.0 serialization of lint findings, for GitHub code-scanning
+// upload. One run, one driver (determinism_lint), the full rule table as
+// reportingDescriptors, and every finding as a result — suppressed ones
+// carry an inSource suppression with the allow() reason, so the audit
+// trail survives into the scanning UI.
+
+#include <string>
+#include <vector>
+
+#include "lint_core.hpp"
+
+namespace nexit::lint {
+
+/// File labels are emitted as-is into artifactLocation URIs (the CLI hands
+/// them over repo-relative).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace nexit::lint

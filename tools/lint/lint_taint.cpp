@@ -1,0 +1,479 @@
+// Pass 2 of the determinism lint: taint propagation from nondeterminism
+// sources to digest/metric/output sinks, across function boundaries.
+//
+// Model: a statement's value is tainted when it mentions a source token
+// (an obs::WallClock read — including file-local `using` aliases of it —
+// raw entropy/time, a pointer-to-integer reinterpret_cast, a get_id()
+// call, or the loop variable of a range-for over an unordered container),
+// a local variable already tainted, or a call to a function whose return
+// value is tainted. Assignments propagate taint to the assignee; `return`
+// of a tainted value marks the whole function tainted, which a fixpoint
+// over the call graph propagates to callers in other TUs. A finding fires
+// when a tainted value appears in the arguments of a sink call
+// (util::digest / FNV helpers, JsonReport's digest-included sections,
+// metric recording, log/stdout emitters — NOT timing_entry, which is the
+// sanctioned digest-EXCLUDED wall-clock section).
+//
+// Findings anchor at the SOURCE line: that is where allow(taint-flow)
+// must sit, so a waiver is a statement about the value's nature ("this
+// wall-clock read is excluded from digests by design"), not about one of
+// its many consumers. Blind spots (pinned by fixtures): taint through
+// function *parameters* (only return values propagate), through member
+// state across methods, and through function pointers.
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "lint_passes.hpp"
+#include "lint_text.hpp"
+
+namespace nexit::lint {
+namespace {
+
+const char* const kTaintFlow = "taint-flow";
+
+/// Where a tainted value was born, plus the functions whose return values
+/// carried it since.
+struct Origin {
+  int file = -1;
+  int line = 0;
+  std::string kind;
+  std::vector<std::string> via;
+};
+
+struct FnState {
+  bool returns_tainted = false;
+  Origin origin;
+};
+
+/// Files whose own bodies legitimately mention clock/entropy tokens (the
+/// canonical wrappers, same list as the raw-entropy rule).
+bool source_exempt_path(const std::string& path) {
+  return path_ends_with(path, "src/util/rng.hpp") ||
+         path_ends_with(path, "src/util/rng.cpp") ||
+         path_ends_with(path, "src/runtime/clock.hpp") ||
+         path_ends_with(path, "src/runtime/clock.cpp") ||
+         path_ends_with(path, "src/obs/wall_clock.hpp");
+}
+
+bool bare_source_token(const std::string& t) {
+  return t == "WallClock" || t == "random_device" || t == "system_clock" ||
+         t == "steady_clock";
+}
+
+bool call_source_token(const std::string& t) {
+  return t == "rand" || t == "srand" || t == "random" || t == "drand48" ||
+         t == "time" || t == "clock" || t == "gettimeofday" || t == "get_id";
+}
+
+std::string source_kind(const std::string& t) {
+  if (t == "WallClock") return "wall-clock read (obs::WallClock)";
+  if (t == "get_id") return "thread-id read (get_id)";
+  return "raw entropy/time (" + t + ")";
+}
+
+bool integral_cast_target(const std::string& args) {
+  static const char* const kIntegral[] = {
+      "uintptr_t", "intptr_t", "size_t",  "uint64_t", "int64_t",
+      "uint32_t",  "int32_t",  "unsigned", "long",    "int"};
+  for (const Token& t : tokenize(args))
+    for (const char* w : kIntegral)
+      if (t.text == w) return true;
+  return false;
+}
+
+/// Digest/metric/output sinks. timing_entry is deliberately absent: the
+/// JsonReport timing section is digest-EXCLUDED by contract (PR 7), so
+/// wall-clock flowing there is the sanctioned design, not a hazard.
+bool sink_call_name(const std::string& t) {
+  if (t == "timing_entry") return false;
+  if (t.find("digest") != std::string::npos) return true;
+  if (t.find("fnv1a") != std::string::npos) return true;
+  return t == "metric" || t == "metric_cdf" || t == "obs_entry" ||
+         t == "spec_entry" || t == "log_line" || t == "printf" ||
+         t == "fprintf" || t == "puts";
+}
+
+/// Variables declared with an unordered_* container type anywhere in `s`.
+std::set<std::string> harvest_unordered_vars(const std::string& s) {
+  std::set<std::string> out;
+  for (const Token& t : tokenize(s)) {
+    if (t.text.rfind("unordered_", 0) != 0) continue;
+    std::size_t p = skip_ws(s, t.end);
+    if (p >= s.size() || s[p] != '<') continue;
+    const std::size_t close = find_matching(s, p, '<', '>');
+    if (close == std::string::npos) continue;
+    p = skip_ws(s, close + 1);
+    while (p < s.size()) {
+      if (s[p] == '&' || s[p] == '*') {
+        p = skip_ws(s, p + 1);
+        continue;
+      }
+      if (s.compare(p, 5, "const") == 0 &&
+          (p + 5 >= s.size() || !ident_char(s[p + 5]))) {
+        p = skip_ws(s, p + 5);
+        continue;
+      }
+      break;
+    }
+    if (p >= s.size() || !ident_start(s[p])) continue;
+    std::size_t e = p;
+    while (e < s.size() && ident_char(s[e])) ++e;
+    const std::size_t after = skip_ws(s, e);
+    if (after < s.size() && s[after] == '(') continue;  // function decl
+    out.insert(s.substr(p, e - p));
+  }
+  return out;
+}
+
+/// File-local `using X = ...WallClock...;` (and aliases of aliases): names
+/// that behave like the aliased source token.
+std::map<std::string, std::string> harvest_source_aliases(
+    const std::string& s) {
+  std::map<std::string, std::string> aliases;  // alias -> kind
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<Token> toks = tokenize(s);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].text != "using") continue;
+      const Token& name = toks[i + 1];
+      std::size_t p = skip_ws(s, name.end);
+      if (p >= s.size() || s[p] != '=') continue;
+      const std::size_t semi = s.find(';', p);
+      if (semi == std::string::npos) continue;
+      const std::string rhs = s.substr(p + 1, semi - p - 1);
+      for (const Token& rt : tokenize(rhs)) {
+        if (bare_source_token(rt.text)) {
+          aliases[name.text] = source_kind(rt.text);
+          break;
+        }
+        auto it = aliases.find(rt.text);
+        if (it != aliases.end()) {
+          aliases[name.text] = it->second;
+          break;
+        }
+      }
+    }
+  }
+  return aliases;
+}
+
+/// The spelled name at token `t` including an explicit `a::b::` prefix.
+/// (Duplicated from lint_graph.cpp's internal helper on purpose: the taint
+/// pass resolves callee names the same way the indexer records them.)
+std::string spelled_at(const std::string& s, const Token& t) {
+  std::string spelled = t.text;
+  std::size_t p = t.begin;
+  while (p >= 2 && s[p - 1] == ':' && s[p - 2] == ':') {
+    std::size_t e = p - 2;
+    std::size_t b = e;
+    while (b > 0 && ident_char(s[b - 1])) --b;
+    if (b == e) break;
+    spelled = s.substr(b, e - b) + "::" + spelled;
+    p = b;
+  }
+  return spelled;
+}
+
+struct Stmt {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Statement chunks of a function body: split at `;` `{` `}` outside
+/// parentheses, so a for-header stays one chunk and nested blocks come
+/// after their introducing statement (a linear order taint can walk).
+std::vector<Stmt> split_statements(const std::string& s, std::size_t begin,
+                                   std::size_t end) {
+  std::vector<Stmt> out;
+  int paren = 0;
+  std::size_t start = begin;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = s[i];
+    if (c == '(') ++paren;
+    else if (c == ')' && paren > 0) --paren;
+    else if ((c == ';' || c == '{' || c == '}') && paren == 0) {
+      if (i > start) out.push_back({start, i});
+      start = i + 1;
+    }
+  }
+  if (end > start) out.push_back({start, end});
+  return out;
+}
+
+struct FileCtx {
+  std::map<std::string, std::string> aliases;  // alias -> source kind
+  std::set<std::string> unordered_vars;
+  bool source_exempt = false;
+};
+
+class TaintAnalysis {
+ public:
+  TaintAnalysis(const std::vector<SourceFile>& files, const CallGraph& graph)
+      : files_(files), graph_(graph), states_(graph.functions.size()) {
+    for (const std::string& s : graph.sanitized) lines_.emplace_back(s);
+    ctx_.resize(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      ctx_[i].aliases = harvest_source_aliases(graph.sanitized[i]);
+      ctx_[i].unordered_vars = harvest_unordered_vars(graph.sanitized[i]);
+      ctx_[i].source_exempt = source_exempt_path(files[i].path);
+    }
+  }
+
+  void run(std::vector<Finding>& findings) {
+    // Fixpoint on the returns-tainted summaries (monotone: a summary only
+    // ever flips false -> true, and its origin is set exactly once).
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 32) {
+      changed = false;
+      for (std::size_t fi = 0; fi < graph_.functions.size(); ++fi)
+        if (analyze_function(static_cast<int>(fi), nullptr)) changed = true;
+    }
+    for (std::size_t fi = 0; fi < graph_.functions.size(); ++fi)
+      analyze_function(static_cast<int>(fi), &findings);
+  }
+
+ private:
+  /// Origins a piece of text can contribute taint from, in spelling order.
+  std::vector<Origin> eval_origins(int file, const std::string& text,
+                                   std::size_t abs_offset,
+                                   const std::map<std::string, Origin>& vars) {
+    std::vector<Origin> out;
+    const std::string& s = graph_.sanitized[file];
+    const FileCtx& fc = ctx_[file];
+    for (const Token& t : tokenize(text)) {
+      const std::size_t abs = abs_offset + t.begin;
+      const int line = lines_[file].line_of(abs);
+      if (!fc.source_exempt && bare_source_token(t.text)) {
+        out.push_back({file, line, source_kind(t.text), {}});
+        continue;
+      }
+      const auto alias = fc.aliases.find(t.text);
+      if (!fc.source_exempt && alias != fc.aliases.end()) {
+        out.push_back({file, line, alias->second, {}});
+        continue;
+      }
+      const std::size_t after = abs_offset + t.end;
+      const bool is_call = skip_ws(s, after) < s.size() &&
+                           s[skip_ws(s, after)] == '(';
+      if (!fc.source_exempt && call_source_token(t.text) && is_call &&
+          !member_access_before(s, abs)) {
+        out.push_back({file, line, source_kind(t.text), {}});
+        continue;
+      }
+      if (t.text == "reinterpret_cast") {
+        std::size_t p = skip_ws(s, after);
+        if (p < s.size() && s[p] == '<') {
+          const std::size_t close = find_matching(s, p, '<', '>');
+          if (close != std::string::npos &&
+              integral_cast_target(s.substr(p + 1, close - p - 1))) {
+            out.push_back({file, line, "pointer-to-integer cast", {}});
+          }
+        }
+        continue;
+      }
+      const auto var = vars.find(t.text);
+      if (var != vars.end() && !is_call) {
+        out.push_back(var->second);
+        continue;
+      }
+      if (is_call) {
+        // Overload sets / same-named helpers in different TUs: prefer a
+        // candidate defined in this file (the one overload resolution
+        // would actually pick for a file-local helper), then any other.
+        const std::vector<int> candidates =
+            graph_.resolve(spelled_at(s, {t.text, abs, after}));
+        int chosen = -1;
+        for (int callee : candidates) {
+          if (!states_[callee].returns_tainted) continue;
+          if (graph_.functions[callee].file == file) {
+            chosen = callee;
+            break;
+          }
+          if (chosen < 0) chosen = callee;
+        }
+        if (chosen >= 0) {
+          Origin o = states_[chosen].origin;
+          const std::string& q = graph_.functions[chosen].qualified;
+          bool seen = false;
+          for (const std::string& v : o.via) seen |= (v == q);
+          if (!seen) o.via.push_back(q);
+          out.push_back(std::move(o));
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Returns true when the function's summary changed. With `findings`
+  /// non-null, also emits sink findings (the post-fixpoint pass).
+  bool analyze_function(int fn, std::vector<Finding>* findings) {
+    const FunctionDef& def = graph_.functions[fn];
+    const std::string& s = graph_.sanitized[def.file];
+    std::map<std::string, Origin> vars;
+    bool changed = false;
+    for (const Stmt& st :
+         split_statements(s, def.body_begin + 1, def.body_end)) {
+      const std::string text = s.substr(st.begin, st.end - st.begin);
+      // Range-for over an unordered container: its loop variable is
+      // iteration-order data.
+      taint_unordered_loop_var(def.file, text, st.begin, vars);
+      const std::vector<Origin> stmt_origins =
+          eval_origins(def.file, text, st.begin, vars);
+
+      // Assignment: propagate to (or clear from) the assignee.
+      apply_assignment(text, stmt_origins, vars);
+
+      // Return of a tainted value: the whole function is tainted.
+      const std::size_t first = skip_ws(text, 0);
+      if (!stmt_origins.empty() && text.compare(first, 6, "return") == 0 &&
+          (first + 6 >= text.size() || !ident_char(text[first + 6]))) {
+        FnState& state = states_[fn];
+        if (!state.returns_tainted) {
+          state.returns_tainted = true;
+          state.origin = stmt_origins.front();
+          changed = true;
+        }
+      }
+
+      if (findings != nullptr)
+        emit_sinks(fn, text, st.begin, vars, *findings);
+    }
+    return changed;
+  }
+
+  void taint_unordered_loop_var(int file, const std::string& text,
+                                std::size_t abs_offset,
+                                std::map<std::string, Origin>& vars) {
+    const FileCtx& fc = ctx_[file];
+    const std::vector<Token> toks = tokenize(text);
+    for (const Token& t : toks) {
+      if (t.text != "for") continue;
+      const std::size_t open = skip_ws(text, t.end);
+      if (open >= text.size() || text[open] != '(') continue;
+      const std::size_t close = find_matching(text, open, '(', ')');
+      if (close == std::string::npos) continue;
+      std::size_t colon = std::string::npos;
+      int depth = 0;
+      for (std::size_t i = open + 1; i < close; ++i) {
+        const char c = text[i];
+        if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+        else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+        else if (c == ':' && depth == 0) {
+          if ((i + 1 < close && text[i + 1] == ':') ||
+              (i > 0 && text[i - 1] == ':'))
+            continue;
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      const std::string range = text.substr(colon + 1, close - colon - 1);
+      bool unordered = range.find("unordered_") != std::string::npos;
+      for (const Token& rt : tokenize(range))
+        unordered |= fc.unordered_vars.count(rt.text) != 0;
+      if (!unordered) continue;
+      std::string var;
+      for (const Token& ht : toks) {
+        if (ht.begin <= open || ht.end >= colon) continue;
+        var = ht.text;  // last identifier before `:` is the loop variable
+      }
+      if (var.empty()) continue;
+      vars[var] = {file, lines_[file].line_of(abs_offset + t.begin),
+                   "unordered-container iteration order", {}};
+    }
+  }
+
+  void apply_assignment(const std::string& text,
+                        const std::vector<Origin>& stmt_origins,
+                        std::map<std::string, Origin>& vars) {
+    int depth = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      const char c = text[i];
+      if (c == '(' || c == '[') ++depth;
+      else if (c == ')' || c == ']') --depth;
+      if (c != '=' || depth != 0) continue;
+      const char prev = i > 0 ? text[i - 1] : '\0';
+      const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+      if (next == '=' || prev == '=' || prev == '!' || prev == '<' ||
+          prev == '>')
+        continue;  // comparison, not assignment
+      const bool compound = prev == '+' || prev == '-' || prev == '*' ||
+                            prev == '/' || prev == '%' || prev == '&' ||
+                            prev == '|' || prev == '^';
+      std::size_t e = prev_nonspace(text, compound ? i - 1 : i);
+      if (e == std::string::npos || !ident_char(text[e])) return;
+      std::size_t b = e;
+      while (b > 0 && ident_char(text[b - 1])) --b;
+      const std::string lhs = text.substr(b, e - b + 1);
+      if (!stmt_origins.empty()) {
+        vars[lhs] = stmt_origins.front();
+      } else if (!compound) {
+        vars.erase(lhs);  // clean reassignment clears the taint
+      }
+      return;
+    }
+  }
+
+  void emit_sinks(int fn, const std::string& text, std::size_t abs_offset,
+                  const std::map<std::string, Origin>& vars,
+                  std::vector<Finding>& findings) {
+    const FunctionDef& def = graph_.functions[fn];
+    const std::string& s = graph_.sanitized[def.file];
+    for (const Token& t : tokenize(text)) {
+      std::string sink;
+      std::string args;
+      std::size_t args_offset = 0;
+      if (sink_call_name(t.text)) {
+        const std::size_t open = skip_ws(s, abs_offset + t.end);
+        if (open >= s.size() || s[open] != '(') continue;
+        const std::size_t close = find_matching(s, open, '(', ')');
+        if (close == std::string::npos) continue;
+        sink = t.text;
+        args = s.substr(open + 1, close - open - 1);
+        args_offset = open + 1;
+      } else if (t.text == "cout" || t.text == "cerr") {
+        sink = "std::" + t.text + " output";
+        args = text;
+        args_offset = abs_offset;
+      } else {
+        continue;
+      }
+      for (const Origin& o :
+           eval_origins(def.file, args, args_offset, vars)) {
+        const int sink_line = lines_[def.file].line_of(abs_offset + t.begin);
+        const auto key = std::make_tuple(o.file, o.line, def.file, sink_line,
+                                         sink);
+        if (!emitted_.insert(key).second) continue;
+        std::string chain;
+        for (const std::string& v : o.via) chain += v + " -> ";
+        chain += def.qualified;
+        findings.push_back(
+            {files_[o.file].path, o.line, kTaintFlow,
+             "nondeterministic value (" + o.kind + ") born here reaches sink `" +
+                 sink + "` at " + files_[def.file].path + ":" +
+                 std::to_string(sink_line) + " via " + chain +
+                 " — waive with allow(taint-flow) at this source line only "
+                 "if the value is digest-excluded by design",
+             false, ""});
+      }
+    }
+  }
+
+  const std::vector<SourceFile>& files_;
+  const CallGraph& graph_;
+  std::vector<FnState> states_;
+  std::vector<LineIndex> lines_;
+  std::vector<FileCtx> ctx_;
+  std::set<std::tuple<int, int, int, int, std::string>> emitted_;
+};
+
+}  // namespace
+
+void run_taint_pass(const std::vector<SourceFile>& files,
+                    const CallGraph& graph, std::vector<Finding>& findings) {
+  TaintAnalysis(files, graph).run(findings);
+}
+
+}  // namespace nexit::lint

@@ -1,0 +1,84 @@
+#include "lint_text.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace nexit::lint {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && is_space(s[i])) ++i;
+  return i;
+}
+
+std::size_t prev_nonspace(const std::string& s, std::size_t i) {
+  while (i > 0) {
+    --i;
+    if (!is_space(s[i])) return i;
+  }
+  return std::string::npos;
+}
+
+std::size_t find_matching(const std::string& s, std::size_t open, char open_ch,
+                          char close_ch) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == open_ch) ++depth;
+    else if (s[i] == close_ch && --depth == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::string trim_copy(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && is_space(s[b])) ++b;
+  while (e > b && is_space(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+bool path_ends_with(const std::string& path, const std::string& suffix) {
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool member_access_before(const std::string& s, std::size_t tok_begin) {
+  std::size_t p = prev_nonspace(s, tok_begin);
+  if (p == std::string::npos) return false;
+  if (s[p] == '.') return true;
+  return s[p] == '>' && p > 0 && s[p - 1] == '-';
+}
+
+std::vector<Token> tokenize(const std::string& s) {
+  std::vector<Token> out;
+  for (std::size_t i = 0; i < s.size();) {
+    if (ident_start(s[i]) && (i == 0 || !ident_char(s[i - 1]))) {
+      std::size_t e = i;
+      while (e < s.size() && ident_char(s[e])) ++e;
+      out.push_back({s.substr(i, e - i), i, e});
+      i = e;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+LineIndex::LineIndex(const std::string& s) {
+  starts_.push_back(0);
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] == '\n') starts_.push_back(i + 1);
+}
+
+int LineIndex::line_of(std::size_t pos) const {
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  return static_cast<int>(it - starts_.begin());
+}
+
+}  // namespace nexit::lint

@@ -1,0 +1,58 @@
+#pragma once
+
+// Token-level text utilities shared by every pass of the determinism lint
+// (the line-local rules in lint_core.cpp, the call-graph indexer in
+// lint_graph.cpp, and the cross-TU passes built on it). Extracted from
+// lint_core.cpp when the lint grew from a line-local scanner into a
+// multi-pass analysis, so the passes agree on one tokenizer.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nexit::lint {
+
+bool ident_start(char c);
+bool ident_char(char c);
+bool is_space(char c);
+
+/// First index >= i that is not whitespace (or s.size()).
+std::size_t skip_ws(const std::string& s, std::size_t i);
+
+/// Index of the previous non-whitespace char before `i`, or npos.
+std::size_t prev_nonspace(const std::string& s, std::size_t i);
+
+/// `s[open]` is `open_ch`; returns the index of the matching `close_ch`
+/// (same nesting level), or npos when unbalanced.
+std::size_t find_matching(const std::string& s, std::size_t open, char open_ch,
+                          char close_ch);
+
+std::string trim_copy(const std::string& s);
+
+bool path_ends_with(const std::string& path, const std::string& suffix);
+
+/// True when the previous non-space char before `tok_begin` is `.` or `->`
+/// (the token is a member access, e.g. `obj.time(...)`).
+bool member_access_before(const std::string& s, std::size_t tok_begin);
+
+struct Token {
+  std::string text;
+  std::size_t begin = 0;
+  std::size_t end = 0;  // one past the last char
+};
+
+/// Identifier tokens of `s`, in order (operators and punctuation are
+/// navigated by byte offset, not tokenized).
+std::vector<Token> tokenize(const std::string& s);
+
+/// 1-based line number of byte offset `pos`.
+class LineIndex {
+ public:
+  explicit LineIndex(const std::string& s);
+  [[nodiscard]] int line_of(std::size_t pos) const;
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+}  // namespace nexit::lint

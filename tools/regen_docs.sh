@@ -2,7 +2,8 @@
 # Regenerate every doc that is derived from the code:
 #   - docs/SPEC_REFERENCE.md   from the spec-key metadata registry
 #   - README.md scenario table from the scenario registry
-#   - docs/ARCHITECTURE.md lint-rule table from determinism_lint
+#   - docs/ARCHITECTURE.md lint-rule and lint-pass tables from
+#     determinism_lint
 #
 #   tools/regen_docs.sh [build-dir]     (default: build)
 #
@@ -15,19 +16,22 @@ build="${1:-build}"
 "$build/nexit_run" --help-spec=markdown > docs/SPEC_REFERENCE.md
 "$build/nexit_run" --list-scenarios=tsv | python3 tools/update_readme_catalog.py README.md
 
-# Splice the lint's self-reported rule table between the markers in
-# docs/ARCHITECTURE.md § Correctness tooling.
+# Splice the lint's self-reported rule and pass tables between the
+# markers in docs/ARCHITECTURE.md § Correctness tooling.
 LINT_RULES="$("$build/tools/lint/determinism_lint" --list-rules=markdown)" \
+LINT_PASSES="$("$build/tools/lint/determinism_lint" --list-passes=markdown)" \
 python3 - <<'EOF'
 import os
 
 path = "docs/ARCHITECTURE.md"
-table = os.environ["LINT_RULES"].rstrip("\n")
-begin, end = "<!-- lint-rules:begin -->", "<!-- lint-rules:end -->"
 text = open(path).read()
-head, rest = text.split(begin, 1)
-_, tail = rest.split(end, 1)
-open(path, "w").write(f"{head}{begin}\n{table}\n{end}{tail}")
+for env, marker in (("LINT_RULES", "lint-rules"), ("LINT_PASSES", "lint-passes")):
+    table = os.environ[env].rstrip("\n")
+    begin, end = f"<!-- {marker}:begin -->", f"<!-- {marker}:end -->"
+    head, rest = text.split(begin, 1)
+    _, tail = rest.split(end, 1)
+    text = f"{head}{begin}\n{table}\n{end}{tail}"
+open(path, "w").write(text)
 EOF
 echo "regenerated docs/SPEC_REFERENCE.md, the README scenario catalog," \
-     "and the ARCHITECTURE.md lint-rule table"
+     "and the ARCHITECTURE.md lint-rule and lint-pass tables"
