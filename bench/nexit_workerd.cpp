@@ -1,0 +1,79 @@
+// The distributed-sweep worker daemon. Two modes:
+//
+//   nexit_workerd --fd=N                  # spawn-local: serve an inherited
+//                                         # already-connected socket fd (the
+//                                         # coordinator forked us over an
+//                                         # AF_UNIX socketpair)
+//   nexit_workerd --listen=host:port      # daemon: accept coordinator
+//                                         # connections and serve them one
+//                                         # at a time; --once=true exits
+//                                         # after the first connection (CI)
+//
+// Either way the serve loop is dist::serve(): announce DistHello, run each
+// DistJob shard through the shared sim::run_point pipeline, ship back a
+// DistResult, exit on DistShutdown or coordinator EOF. One job runs at a
+// time per worker — parallelism comes from the coordinator running many
+// workers, which is what keeps each shard's digest independent of every
+// other shard.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "agent/channel.hpp"
+#include "dist/framed.hpp"
+#include "dist/tcp_channel.hpp"
+#include "dist/worker.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nexit;
+  util::Flags flags(argc, argv);
+  const std::string fd_arg = flags.get_string("fd", "");
+  const std::string listen = flags.get_string("listen", "");
+  const bool once = flags.get_bool("once", false);
+  util::reject_unknown(flags);
+
+  if (fd_arg.empty() == listen.empty()) {
+    std::fprintf(stderr,
+                 "usage: nexit_workerd --fd=N | --listen=host:port [--once]\n");
+    return 2;
+  }
+
+  if (!fd_arg.empty()) {
+    char* end = nullptr;
+    const long fd = std::strtol(fd_arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || fd < 0) {
+      std::fprintf(stderr, "error: --fd: not a file descriptor: %s\n",
+                   fd_arg.c_str());
+      return 2;
+    }
+    dist::FramedChannel channel(
+        agent::make_fd_channel(static_cast<int>(fd)));
+    return dist::serve(channel);
+  }
+
+  std::string host;
+  std::uint16_t port = 0;
+  if (!dist::parse_endpoint(listen, &host, &port)) {
+    std::fprintf(stderr, "error: --listen: malformed endpoint: %s\n",
+                 listen.c_str());
+    return 2;
+  }
+  try {
+    dist::TcpListener listener(host, port);
+    std::fprintf(stderr, "workerd: listening on %s:%u\n", host.c_str(),
+                 listener.port());
+    for (;;) {
+      std::unique_ptr<agent::Channel> conn = listener.accept(-1);
+      if (!conn) continue;
+      dist::FramedChannel channel(std::move(conn));
+      const int rc = dist::serve(channel);
+      std::fprintf(stderr, "workerd: connection done (rc %d)\n", rc);
+      if (once) return rc;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

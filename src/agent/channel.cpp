@@ -63,7 +63,7 @@ class SocketChannel : public Channel {
     // next send()/receive() call instead.
     if (!pending_out_.empty()) {
       pending_out_.insert(pending_out_.end(), data.begin(), data.end());
-      flush();
+      flush_pending();
       return;
     }
     const std::size_t sent = write_some(data.data(), data.size());
@@ -75,7 +75,7 @@ class SocketChannel : public Channel {
   proto::Bytes receive() override {
     proto::Bytes out;
     if (fd_ < 0) return out;
-    flush();
+    flush_pending();
     std::uint8_t buf[65536];
     for (;;) {
       const ssize_t n = ::read(fd_, buf, sizeof(buf));
@@ -83,12 +83,18 @@ class SocketChannel : public Channel {
         out.insert(out.end(), buf, buf + n);
         continue;
       }
+      if (n < 0 && errno == EINTR) continue;  // interrupted, not drained
       if (n == 0) {  // peer closed
         close();
       }
       break;  // EAGAIN or closed: return what we have
     }
     return out;
+  }
+
+  bool flush() override {
+    flush_pending();
+    return pending_out_.empty();
   }
 
   // Kernel buffers are invisible without a syscall; the reactor polls
@@ -104,7 +110,7 @@ class SocketChannel : public Channel {
       // (one non-blocking pass — a blocking flush could deadlock against a
       // same-thread peer, the very thing the queue exists to avoid). Bytes
       // the kernel still refuses are dropped, as with any abortive close.
-      flush();
+      flush_pending();
       ::close(fd_);
       fd_ = -1;
       pending_out_.clear();
@@ -127,7 +133,7 @@ class SocketChannel : public Channel {
     return sent;
   }
 
-  void flush() {
+  void flush_pending() {
     if (pending_out_.empty() || fd_ < 0) return;
     const std::size_t sent = write_some(pending_out_.data(), pending_out_.size());
     pending_out_.erase(pending_out_.begin(),
@@ -160,6 +166,12 @@ make_socket_channel_pair() {
           std::make_unique<SocketChannel>(fds[1])};
 }
 
+std::unique_ptr<Channel> make_fd_channel(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return std::make_unique<SocketChannel>(fd);
+}
+
 FaultyChannel::FaultyChannel(std::unique_ptr<Channel> inner,
                              double drop_probability, double corrupt_probability,
                              std::uint64_t seed)
@@ -182,5 +194,6 @@ bool FaultyChannel::readable() const { return inner_->readable(); }
 int FaultyChannel::poll_fd() const { return inner_->poll_fd(); }
 bool FaultyChannel::closed() const { return inner_->closed(); }
 void FaultyChannel::close() { inner_->close(); }
+bool FaultyChannel::flush() { return inner_->flush(); }
 
 }  // namespace nexit::agent

@@ -34,6 +34,15 @@ class Channel {
 
   [[nodiscard]] virtual bool closed() const = 0;
   virtual void close() = 0;
+
+  /// Pushes queued outgoing bytes toward the peer without blocking; returns
+  /// true when nothing remains queued. In-memory transports deliver
+  /// immediately and always return true; fd-backed transports may hold an
+  /// overflow queue the kernel refused (see SocketChannel), which a
+  /// synchronous caller drains by polling the fd writable and calling
+  /// flush() again — the blocking loop itself stays out of Channel so the
+  /// single-threaded runtime can never deadlock on it.
+  virtual bool flush() { return true; }
 };
 
 /// Deterministic in-memory pair: what one side sends the other receives.
@@ -44,6 +53,14 @@ make_in_memory_channel_pair();
 /// Sockets are non-blocking; RAII closes the fds.
 std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
 make_socket_channel_pair();
+
+/// Wraps an already-connected stream socket (AF_UNIX or TCP) in the same
+/// fd-backed Channel the socketpair factory returns: the fd is switched to
+/// non-blocking, writes the kernel refuses queue in an overflow buffer, and
+/// RAII closes it. This is how the distributed layer (src/dist) reuses the
+/// exact framing/backpressure behaviour of the local transport over
+/// accepted/connected sockets.
+std::unique_ptr<Channel> make_fd_channel(int fd);
 
 /// Fault-injection decorator for tests: drops or corrupts whole send() calls
 /// with the given probabilities (seeded, deterministic).
@@ -58,6 +75,7 @@ class FaultyChannel : public Channel {
   [[nodiscard]] int poll_fd() const override;
   [[nodiscard]] bool closed() const override;
   void close() override;
+  bool flush() override;
 
  private:
   std::unique_ptr<Channel> inner_;

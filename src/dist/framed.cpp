@@ -1,0 +1,101 @@
+#include "dist/framed.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "obs/wall_clock.hpp"
+
+namespace nexit::dist {
+
+namespace {
+
+/// Milliseconds left of `timeout_ms` after `elapsed_ms`; -1 stays -1
+/// (forever), exhausted budgets clamp to 0.
+int remaining_ms(int timeout_ms, double elapsed_ms) {
+  if (timeout_ms < 0) return -1;
+  const double left = timeout_ms - elapsed_ms;
+  return left > 0 ? static_cast<int>(left) + 1 : 0;
+}
+
+}  // namespace
+
+void FramedChannel::fail(const std::string& why) {
+  if (!failed_) {
+    failed_ = true;
+    error_ = why;
+  }
+  channel_->close();
+}
+
+bool FramedChannel::send(const proto::DistMessage& message, int timeout_ms) {
+  if (failed()) return false;
+  const auto t0 = obs::WallClock::now();
+  try {
+    channel_->send(proto::encode_frame(proto::encode_dist_message(message)));
+    // A frame larger than the socket buffer lands in the channel's overflow
+    // queue (short write); drain it by polling writable — the peer is a
+    // different process, so unlike the same-thread runtime sessions,
+    // blocking here cannot deadlock.
+    while (!channel_->flush()) {
+      const int left = remaining_ms(timeout_ms, obs::WallClock::ms_since(t0));
+      if (left == 0) {
+        fail("send timed out");
+        return false;
+      }
+      pollfd p{channel_->poll_fd(), POLLOUT, 0};
+      const int rc = ::poll(&p, 1, left);
+      if (rc < 0 && errno != EINTR) {
+        fail("poll failed during send");
+        return false;
+      }
+    }
+  } catch (const std::exception& e) {  // closed/reset peer
+    fail(e.what());
+    return false;
+  }
+  return true;
+}
+
+std::optional<proto::DistMessage> FramedChannel::poll_message() {
+  if (failed_) return std::nullopt;
+  for (;;) {
+    if (std::optional<proto::Frame> frame = decoder_.next()) {
+      util::Result<proto::DistMessage> message =
+          proto::decode_dist_message(*frame);
+      if (!message.ok()) {
+        fail(message.error().message);
+        return std::nullopt;
+      }
+      return std::move(message).take();
+    }
+    if (decoder_.failed()) {
+      fail(decoder_.error());
+      return std::nullopt;
+    }
+    const proto::Bytes bytes = channel_->receive();
+    if (bytes.empty()) return std::nullopt;  // kernel buffer drained
+    decoder_.feed(bytes);
+  }
+}
+
+std::optional<proto::DistMessage> FramedChannel::receive(int timeout_ms) {
+  const auto t0 = obs::WallClock::now();
+  for (;;) {
+    if (std::optional<proto::DistMessage> message = poll_message())
+      return message;
+    if (failed()) return std::nullopt;
+    const int left = remaining_ms(timeout_ms, obs::WallClock::ms_since(t0));
+    if (left == 0) return std::nullopt;
+    pollfd p{channel_->poll_fd(), POLLIN, 0};
+    const int rc = ::poll(&p, 1, left);
+    if (rc < 0 && errno != EINTR) {
+      fail("poll failed during receive");
+      return std::nullopt;
+    }
+    if (rc == 0) return std::nullopt;  // timeout
+  }
+}
+
+}  // namespace nexit::dist

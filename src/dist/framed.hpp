@@ -1,0 +1,63 @@
+#pragma once
+
+// Synchronous framed I/O over an agent::Channel for the dist protocol. The
+// channels are non-blocking by contract (the runtime pumps them from an
+// event loop), but coordinator<->worker exchanges are sequential RPCs, so
+// this wrapper supplies the blocking discipline a stream socket needs:
+// sends poll the fd writable until the overflow queue drains (short
+// writes), receives poll readable and feed a proto::FrameDecoder until a
+// complete frame assembles (partial reads — TCP delivers arbitrary chunk
+// boundaries), and both retry EINTR. CRC/header corruption poisons the
+// decoder, which callers must treat as peer death.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "agent/channel.hpp"
+#include "proto/dist_messages.hpp"
+#include "proto/frame.hpp"
+
+namespace nexit::dist {
+
+/// One endpoint of a dist connection: a Channel plus the incremental frame
+/// decoder reassembling its byte stream.
+class FramedChannel {
+ public:
+  explicit FramedChannel(std::unique_ptr<agent::Channel> channel)
+      : channel_(std::move(channel)) {}
+
+  /// Sends one message, blocking (bounded by timeout_ms, -1 = forever)
+  /// until every byte is at least in the kernel's hands. Returns false on
+  /// peer death / timeout.
+  bool send(const proto::DistMessage& message, int timeout_ms);
+
+  /// Blocks up to timeout_ms (-1 = forever) for the next complete, valid
+  /// message. nullopt = timeout, closed peer, or poisoned stream — check
+  /// failed() to distinguish the fatal cases from a pure timeout.
+  std::optional<proto::DistMessage> receive(int timeout_ms);
+
+  /// Feeds any bytes already buffered by the kernel without blocking and
+  /// returns a completed message if one is pending. Used by the
+  /// coordinator's poll loop, which multiplexes many workers.
+  std::optional<proto::DistMessage> poll_message();
+
+  /// True once the stream is unusable: peer closed, decode poisoned, or a
+  /// malformed message arrived.
+  [[nodiscard]] bool failed() const { return failed_ || channel_->closed(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  [[nodiscard]] int poll_fd() const { return channel_->poll_fd(); }
+  [[nodiscard]] agent::Channel& channel() { return *channel_; }
+
+ private:
+  void fail(const std::string& why);
+
+  std::unique_ptr<agent::Channel> channel_;
+  proto::FrameDecoder decoder_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace nexit::dist

@@ -1,0 +1,167 @@
+#include "dist/tcp_channel.hpp"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace nexit::dist {
+
+namespace {
+
+/// Resolves host to an IPv4 sockaddr. getaddrinfo handles both numeric
+/// addresses and names; IPv4-only keeps the endpoint grammar unambiguous
+/// (host:port would collide with bare IPv6 literals).
+sockaddr_in resolve(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    throw std::runtime_error("cannot resolve host \"" + host +
+                             "\": " + ::gai_strerror(rc));
+  }
+  sockaddr_in addr{};
+  std::memcpy(&addr, result->ai_addr, sizeof(addr));
+  addr.sin_port = htons(port);
+  ::freeaddrinfo(result);
+  return addr;
+}
+
+int make_tcp_socket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
+  // Frames are small and latency-sensitive (one job/result per round trip);
+  // Nagle would add nothing but delay.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// poll() one fd for `events`, retrying EINTR with the remaining budget.
+/// Returns true when the fd signalled, false on timeout.
+bool poll_one(int fd, short events, int timeout_ms) {
+  pollfd p{fd, events, 0};
+  for (;;) {
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw std::runtime_error("poll failed");
+  }
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = resolve(host, port);
+  fd_ = make_tcp_socket();
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot listen on " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<agent::Channel> TcpListener::accept(int timeout_ms) {
+  if (!poll_one(fd_, POLLIN, timeout_ms)) return nullptr;
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return agent::make_fd_channel(fd);
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("accept failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+std::unique_ptr<agent::Channel> tcp_connect(const std::string& host,
+                                            std::uint16_t port,
+                                            int timeout_ms) {
+  const sockaddr_in addr = resolve(host, port);
+  const int fd = make_tcp_socket();
+  // Non-blocking connect so the timeout is enforceable; the resulting fd is
+  // what make_fd_channel wants anyway.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      throw std::runtime_error("cannot connect to " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    }
+    bool ready = false;
+    try {
+      ready = poll_one(fd, POLLOUT, timeout_ms);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (!ready ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      throw std::runtime_error("cannot connect to " + host + ":" +
+                               std::to_string(port) + ": " +
+                               (ready ? std::strerror(err) : "timed out"));
+    }
+  }
+  return agent::make_fd_channel(fd);
+}
+
+bool parse_endpoint(const std::string& endpoint, std::string* host,
+                    std::uint16_t* port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size())
+    return false;
+  const std::string digits = endpoint.substr(colon + 1);
+  std::uint32_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint32_t>(c - '0');
+    if (value > 65535) return false;
+  }
+  if (host != nullptr) *host = endpoint.substr(0, colon);
+  if (port != nullptr) *port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+std::pair<std::unique_ptr<agent::Channel>, std::unique_ptr<agent::Channel>>
+make_tcp_channel_pair() {
+  TcpListener listener("127.0.0.1", 0);
+  auto client = tcp_connect("127.0.0.1", listener.port(), 5000);
+  auto server = listener.accept(5000);
+  if (server == nullptr)
+    throw std::runtime_error("loopback accept timed out");
+  return {std::move(client), std::move(server)};
+}
+
+}  // namespace nexit::dist

@@ -1,0 +1,63 @@
+#pragma once
+
+// TCP transport for the distributed layer: the same fd-backed Channel the
+// AF_UNIX socketpair factory returns (identical framing, overflow queue,
+// poll_fd() reactor integration), over listen/connect/accept sockets — the
+// piece that lets coordinator and workers, or two negotiation agents, sit
+// on different hosts. Loopback pairs double as the runtime's
+// `runtime.transport=tcp` channel kind.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "agent/channel.hpp"
+
+namespace nexit::dist {
+
+/// A listening TCP socket. Binds on construction (throws std::runtime_error
+/// on failure); RAII closes the fd. Port 0 asks the kernel for an ephemeral
+/// port — port() reports the actual one.
+class TcpListener {
+ public:
+  /// Binds and listens on host:port. `host` is a numeric IPv4 address or a
+  /// resolvable name ("127.0.0.1", "0.0.0.0", "localhost").
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks up to timeout_ms (-1 = forever) for one inbound connection;
+  /// returns it wrapped in the standard fd-backed Channel, or nullptr on
+  /// timeout.
+  std::unique_ptr<agent::Channel> accept(int timeout_ms);
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port (blocking, bounded by timeout_ms) and returns the
+/// fd-backed Channel; throws std::runtime_error on failure/timeout.
+std::unique_ptr<agent::Channel> tcp_connect(const std::string& host,
+                                            std::uint16_t port,
+                                            int timeout_ms);
+
+/// "host:port" -> parts; returns false (and leaves outputs untouched) on a
+/// malformed endpoint (missing colon, non-numeric or out-of-range port).
+bool parse_endpoint(const std::string& endpoint, std::string* host,
+                    std::uint16_t* port);
+
+/// A connected loopback TCP pair (listener on an ephemeral 127.0.0.1 port,
+/// connect, accept, listener closed) — the TCP twin of
+/// agent::make_socket_channel_pair(), and the channel factory behind
+/// `runtime.transport=tcp`.
+std::pair<std::unique_ptr<agent::Channel>, std::unique_ptr<agent::Channel>>
+make_tcp_channel_pair();
+
+}  // namespace nexit::dist

@@ -1,0 +1,18 @@
+#pragma once
+
+// The worker side of the distributed layer: the nexit_workerd serve loop.
+// One connection = one coordinator; the worker announces itself with a
+// DistHello, then runs DistJob shards sequentially through the same
+// sim::run_point pipeline the in-process sweep loop uses, shipping back a
+// DistResult per job until DistShutdown or peer EOF.
+
+#include "dist/framed.hpp"
+
+namespace nexit::dist {
+
+/// Serves one coordinator connection to completion. Returns the process
+/// exit code: 0 on orderly shutdown (DistShutdown or coordinator EOF),
+/// non-zero on a poisoned stream or send failure.
+int serve(FramedChannel& channel);
+
+}  // namespace nexit::dist

@@ -1,0 +1,105 @@
+#pragma once
+
+// Messages of the distributed-execution protocol (coordinator <->
+// nexit_workerd, src/dist). They ride the same magic/version/CRC frame
+// layer as the negotiation protocol but occupy a disjoint type-byte space
+// (>= 16), so a frame can never be mistaken for a negotiation message even
+// if a worker socket were cross-wired into a session.
+//
+// Flow, per worker connection:
+//   worker  -> DistHello   (protocol + build sanity check, sent on accept)
+//   coord   -> DistJob     (one serialized spec shard; job ids are the
+//                           coordinator's odometer-order point indices)
+//   worker  -> DistResult  (exit code, point digest, serialized metric
+//                           entries, obs snapshot)
+//   ... more DistJob/DistResult rounds ...
+//   coord   -> DistShutdown (worker drains and exits 0)
+//
+// DistResult ships the JSON *metric entries pre-serialized* (the worker
+// runs the same util::JsonReport value formatter the in-process run uses),
+// and the obs counters/histograms structurally. Both choices serve the
+// bit-identity contract: the coordinator splices metric strings verbatim
+// and re-runs the identical obs-section emitter, so a distributed record
+// is byte-for-byte the in-process record.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "proto/frame.hpp"
+#include "util/result.hpp"
+
+namespace nexit::proto {
+
+/// Type bytes of the distributed protocol; MessageType (negotiation) owns
+/// 1..9, this enum owns 16+.
+enum class DistMessageType : std::uint8_t {
+  kDistHello = 16,
+  kDistJob = 17,
+  kDistResult = 18,
+  kDistShutdown = 19,
+};
+
+/// Version of the dist payload schema, independent of the frame-layer
+/// kProtocolVersion: a coordinator refuses a worker built from a different
+/// schema instead of mis-decoding its results.
+inline constexpr std::uint32_t kDistProtocolVersion = 1;
+
+struct DistHello {
+  std::uint32_t protocol = kDistProtocolVersion;
+  friend bool operator==(const DistHello&, const DistHello&) = default;
+};
+
+/// One shard: a fully merged+serialized sim::ExperimentSpec (spec-file
+/// text, every key spelled out, dist.* keys reset so a worker can never
+/// recursively distribute) plus the preset whose run function interprets it.
+struct DistJob {
+  std::uint32_t job = 0;  // coordinator's point index, echoed in the result
+  std::string scenario;
+  std::string label;      // human point label for worker-side logs
+  std::string spec_text;
+  friend bool operator==(const DistJob&, const DistJob&) = default;
+};
+
+struct DistObsHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  /// Sparse (bucket index, count) pairs — most of the 65 magnitude buckets
+  /// are empty.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+  friend bool operator==(const DistObsHistogram&,
+                         const DistObsHistogram&) = default;
+};
+
+struct DistResult {
+  std::uint32_t job = 0;
+  std::int32_t rc = 0;     // the run function's exit code; 0 = success
+  std::uint64_t digest = 0;
+  std::string error;       // non-empty iff rc != 0
+  /// (name, already-serialized JSON value) metric entries in record order.
+  std::vector<std::pair<std::string, std::string>> metrics;
+  /// The obs::Registry snapshot after the point ran, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<DistObsHistogram> histograms;
+  friend bool operator==(const DistResult&, const DistResult&) = default;
+};
+
+struct DistShutdown {
+  friend bool operator==(const DistShutdown&, const DistShutdown&) = default;
+};
+
+using DistMessage =
+    std::variant<DistHello, DistJob, DistResult, DistShutdown>;
+
+/// Serialises a dist message into a frame (type byte + payload).
+Frame encode_dist_message(const DistMessage& message);
+
+/// Parses a frame back into a dist message; malformed payloads (including
+/// negotiation-protocol type bytes) are an error, not an exception — a
+/// worker socket carries untrusted remote input.
+util::Result<DistMessage> decode_dist_message(const Frame& frame);
+
+}  // namespace nexit::proto

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/oracles.hpp"
+#include "dist/tcp_channel.hpp"
 #include "obs/registry.hpp"
 #include "util/digest.hpp"
 #include "util/rng.hpp"
@@ -24,6 +25,8 @@ ChannelFactory make_channel_factory(Transport transport, FaultConfig faults,
                                           std::unique_ptr<agent::Channel>> {
     auto pair = transport == Transport::kSocketPair
                     ? agent::make_socket_channel_pair()
+                : transport == Transport::kTcpPair
+                    ? dist::make_tcp_channel_pair()
                     : agent::make_in_memory_channel_pair();
     if (faults.drop <= 0.0 && faults.corrupt <= 0.0) return pair;
     const auto a = static_cast<std::uint64_t>(attempt) * 2;

@@ -42,7 +42,11 @@ struct ScenarioEvent {
   std::uint64_t param = 0;
 };
 
-enum class Transport : std::uint8_t { kInMemory, kSocketPair };
+/// kTcpPair is a connected loopback TCP pair from src/dist — same fd-backed
+/// Channel as kSocketPair, but through the full listen/connect/accept path
+/// (and the kernel's TCP segmentation, which exercises partial-frame
+/// reassembly for real).
+enum class Transport : std::uint8_t { kInMemory, kSocketPair, kTcpPair };
 
 /// Workload shape of the initial sessions. kGravityAtoB matches the failure
 /// example (gravity traffic, one direction); kBidirectionalIdentical matches

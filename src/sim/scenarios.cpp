@@ -12,6 +12,7 @@
 
 #include "core/engine.hpp"
 #include "core/oracle_registry.hpp"
+#include "dist/coordinator.hpp"
 #include "core/problem.hpp"
 #include "geo/coord.hpp"
 #include "graph/graph.hpp"
@@ -1484,7 +1485,8 @@ int run_runtime(ScenarioContext& ctx) {
                     : std::to_string(cfg.session_count) + " sessions")
             << " ("
             << (cfg.transport == runtime::Transport::kSocketPair ? "socket"
-                                                                 : "memory")
+                : cfg.transport == runtime::Transport::kTcpPair ? "tcp"
+                                                                : "memory")
             << " transport), stagger " << cfg.start_stagger << ", "
             << cfg.events.size() << " timeline event"
             << (cfg.events.size() == 1 ? "" : "s") << ", threads "
@@ -1886,6 +1888,10 @@ ExperimentSpec spec_at_point(
   for (const SweepAxis& axis : point.sweeps)
     if (own.count(axis.key) > 0) kept.push_back(axis);
   point.sweeps = std::move(kept);
+  // A point is one unit of work: the sweep is what gets distributed, never
+  // the point itself (and validate() would reject dist.* on a spec with no
+  // axes left).
+  point.dist = DistSpec{};
   for (const auto& [key, value] : overrides) {
     const util::FlagErrorContext context("sweep axis --sweep." + key);
     point.merge_from_flags(util::Flags({key + "=" + value}));
@@ -1897,8 +1903,91 @@ ExperimentSpec spec_at_point(
 /// active point's sub-section during a sweep). Counters verbatim;
 /// histograms as <name>.count/.sum plus one .b<k> entry per non-empty
 /// magnitude bucket, so the key set stays compact and canonical.
-void record_obs_section(util::JsonReport& record) {
-  const obs::Snapshot snap = obs::Registry::global().snapshot();
+/// The wall-clock phase profile as the digest-excluded "timing" section
+/// (reported once per run, never per sweep point).
+void record_timing_section(util::JsonReport& record) {
+  for (const obs::PhaseSnapshot& p : obs::Registry::global().timing_snapshot()) {
+    record.timing_entry(std::string("phase.") + p.name + ".calls",
+                        static_cast<std::int64_t>(p.calls));
+    record.timing_entry(std::string("phase.") + p.name + ".ms",
+                        static_cast<double>(p.ns) / 1e6);
+  }
+}
+
+/// Dispatches already-validated point specs to dist workers (spawn-local or
+/// dist.connect daemons) and folds the results exactly as the in-process
+/// loop would: metric entries spliced verbatim, obs sections re-emitted
+/// from the shipped snapshots, per-point digests folded in odometer order.
+/// `labels` is {""} for the single-shard (whole-run) case — no points
+/// section, entries land at the top level, as in-process.
+int run_distributed(const ScenarioPreset& preset, const ExperimentSpec& spec,
+                    const std::vector<ExperimentSpec>& point_specs,
+                    const std::vector<std::string>& labels,
+                    util::JsonReport& record) {
+  const bool sweep = !(labels.size() == 1 && labels[0].empty());
+
+  dist::CoordinatorConfig cfg;
+  cfg.workers = spec.dist.workers;
+  cfg.connect = spec.dist.connect;
+  cfg.log_dir = spec.dist.log_dir;
+  cfg.timeout_ms = spec.dist.timeout_ms;
+  cfg.retries = spec.dist.retries;
+
+  std::vector<dist::Job> jobs;
+  jobs.reserve(point_specs.size());
+  for (std::size_t i = 0; i < point_specs.size(); ++i) {
+    // Workers must never recursively distribute: the shard they receive is
+    // the point spec with the dist.* namespace reset to defaults.
+    ExperimentSpec shard = point_specs[i];
+    shard.dist = DistSpec{};
+    jobs.push_back(dist::Job{preset.name, labels[i], shard.to_text()});
+  }
+
+  std::vector<dist::JobResult> results;
+  try {
+    dist::Coordinator coordinator(cfg);
+    const int rc = coordinator.run(jobs, &results);
+    if (rc != 0) return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: dist: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::uint64_t sweep_digest = util::kFnvOffsetBasis;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const dist::JobResult& result = results[i];
+    if (result.rc != 0) {
+      std::cerr << "error: dist job " << i
+                << (labels[i].empty() ? "" : " (" + labels[i] + ")") << ": "
+                << result.error << "\n";
+      return result.rc;
+    }
+    if (sweep) record.begin_point(labels[i]);
+    for (const auto& [name, value] : result.metrics)
+      record.metric_serialized(name, value);
+    record_obs_section(record, result.obs);
+    if (sweep) {
+      record.metric("digest", util::digest_hex(result.digest));
+      std::printf("sweep point %zu/%zu: %s — digest %s\n", i + 1,
+                  results.size(), labels[i].c_str(),
+                  util::digest_hex(result.digest).c_str());
+    }
+    sweep_digest = util::fnv1a_mix(sweep_digest, result.digest);
+  }
+  if (sweep) record.end_points();
+
+  const std::uint64_t digest = sweep ? sweep_digest : results[0].digest;
+  std::printf("\noutcome digest: %s\n", util::digest_hex(digest).c_str());
+  if (sweep)
+    record.metric("sweep_points", static_cast<std::int64_t>(results.size()));
+  record.metric("digest", util::digest_hex(digest));
+  record.write();
+  return 0;
+}
+
+}  // namespace
+
+void record_obs_section(util::JsonReport& record, const obs::Snapshot& snap) {
   for (const obs::CounterSnapshot& c : snap.counters)
     record.obs_entry(c.name, static_cast<std::int64_t>(c.value));
   for (const obs::HistogramSnapshot& h : snap.histograms) {
@@ -1912,18 +2001,18 @@ void record_obs_section(util::JsonReport& record) {
   }
 }
 
-/// The wall-clock phase profile as the digest-excluded "timing" section
-/// (reported once per run, never per sweep point).
-void record_timing_section(util::JsonReport& record) {
-  for (const obs::PhaseSnapshot& p : obs::Registry::global().timing_snapshot()) {
-    record.timing_entry(std::string("phase.") + p.name + ".calls",
-                        static_cast<std::int64_t>(p.calls));
-    record.timing_entry(std::string("phase.") + p.name + ".ms",
-                        static_cast<double>(p.ns) / 1e6);
-  }
+PointOutcome run_point(const ScenarioPreset& preset,
+                       const ExperimentSpec& point, util::JsonReport& record,
+                       obs::Trace* trace) {
+  PointOutcome out;
+  obs::Registry::global().reset_counters();
+  ScenarioContext ctx{point, record};
+  ctx.trace = trace;
+  out.rc = preset.run(ctx);
+  out.digest = ctx.digest;
+  if (out.rc == 0) out.obs = obs::Registry::global().snapshot();
+  return out;
 }
-
-}  // namespace
 
 int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
   ExperimentSpec spec;
@@ -2042,8 +2131,17 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
     std::cout << "merged spec written to " << spec_out << "\n";
   }
 
-  for (const auto& [key, value] : spec.to_key_values())
-    record.spec_entry(key, value);
+  {
+    // The record's spec section describes the *experiment*; dist.* is
+    // execution placement, which the bit-identity contract says must not
+    // show in the outcome — so it serializes as defaults here, making a
+    // distributed record byte-identical to the in-process one. --spec-out
+    // still archives the real dist.* keys (it archives the invocation).
+    ExperimentSpec archived = spec;
+    archived.dist = DistSpec{};
+    for (const auto& [key, value] : archived.to_key_values())
+      record.spec_entry(key, value);
+  }
 
   // Observability setup: one Trace shared by every sweep point (tracks keep
   // incrementing, so a single file holds the whole sweep); the wall-clock
@@ -2056,20 +2154,23 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
   obs::Registry::global().reset_timing();
 
   if (outer.empty()) {
-    obs::Registry::global().reset_counters();
-    ScenarioContext ctx{spec, record};
-    ctx.trace = trace.get();
-    const int rc = preset.run(ctx);
-    if (rc != 0) return rc;
+    // A whole runtime timeline can be offloaded as a single shard —
+    // validate() guarantees dist.* never reaches a non-sweep
+    // distance/bandwidth run.
+    if (spec.dist.enabled())
+      return run_distributed(preset, spec, {spec}, {""}, record);
 
-    record_obs_section(record);
+    const PointOutcome out = run_point(preset, spec, record, trace.get());
+    if (out.rc != 0) return out.rc;
+
+    record_obs_section(record, out.obs);
     if (spec.obs.timing) {
       record_timing_section(record);
       obs::Registry::global().set_timing_enabled(false);
     }
     if (trace != nullptr) trace->write(spec.obs.trace);
-    std::printf("\noutcome digest: %s\n", util::digest_hex(ctx.digest).c_str());
-    record.metric("digest", util::digest_hex(ctx.digest));
+    std::printf("\noutcome digest: %s\n", util::digest_hex(out.digest).c_str());
+    record.metric("digest", util::digest_hex(out.digest));
     record.write();
     return 0;
   }
@@ -2110,21 +2211,25 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
     std::printf(" %s[%zu]", axis.key.c_str(), axis.values.size());
   std::printf("\n");
 
+  std::vector<std::string> labels;
+  labels.reserve(points.size());
+  for (const auto& overrides : points) labels.push_back(point_label(overrides));
+
+  if (spec.dist.enabled())
+    return run_distributed(preset, spec, point_specs, labels, record);
+
   std::uint64_t sweep_digest = util::kFnvOffsetBasis;
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::string label = point_label(points[i]);
     std::printf("\n===== sweep point %zu/%zu: %s =====\n\n", i + 1,
-                points.size(), label.c_str());
-    record.begin_point(label);
-    obs::Registry::global().reset_counters();
-    ScenarioContext ctx{point_specs[i], record};
-    ctx.trace = trace.get();
-    const int rc = preset.run(ctx);
-    if (rc != 0) return rc;
-    record_obs_section(record);
-    record.metric("digest", util::digest_hex(ctx.digest));
-    std::printf("\npoint digest: %s\n", util::digest_hex(ctx.digest).c_str());
-    sweep_digest = util::fnv1a_mix(sweep_digest, ctx.digest);
+                points.size(), labels[i].c_str());
+    record.begin_point(labels[i]);
+    const PointOutcome out = run_point(preset, point_specs[i], record,
+                                       trace.get());
+    if (out.rc != 0) return out.rc;
+    record_obs_section(record, out.obs);
+    record.metric("digest", util::digest_hex(out.digest));
+    std::printf("\npoint digest: %s\n", util::digest_hex(out.digest).c_str());
+    sweep_digest = util::fnv1a_mix(sweep_digest, out.digest);
   }
   record.end_points();
 
@@ -2186,6 +2291,8 @@ runtime::ScenarioConfig runtime_config_of(const ExperimentSpec& spec) {
   c.runtime.max_ticks = spec.runtime.max_ticks;
   c.transport = spec.runtime.transport == RuntimeTransport::kSocket
                     ? runtime::Transport::kSocketPair
+                : spec.runtime.transport == RuntimeTransport::kTcp
+                    ? runtime::Transport::kTcpPair
                     : runtime::Transport::kInMemory;
   c.faults.drop = spec.runtime.drop;
   c.faults.corrupt = spec.runtime.corrupt;

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/scenario.hpp"
 #include "sim/spec.hpp"
@@ -100,9 +101,33 @@ void print_scenario_tsv(std::ostream& os);
 /// The shared pipeline: preset defaults -> optional --spec file -> flag
 /// overrides -> reject_unknown -> validate -> lock/axis checks -> optional
 /// --spec-out archive -> record spec -> run (expanding non-owned sweep
-/// axes) -> digest print + JSON write. Both the driver and every legacy
-/// shim end up here.
+/// axes, in-process or sharded across dist.* workers) -> digest print +
+/// JSON write. Both the driver and every legacy shim end up here.
 int run_scenario(const ScenarioPreset& preset, const util::Flags& flags);
+
+/// What one executed point produced: the run function's exit code, the
+/// outcome digest, and the obs::Registry work-counter snapshot.
+struct PointOutcome {
+  int rc = 0;
+  std::uint64_t digest = 0;
+  obs::Snapshot obs;
+};
+
+/// Runs one fully merged+validated spec through `preset`'s run function
+/// with the obs counters reset first: metric entries land in `record`'s
+/// active sink, the snapshot is taken after the run. This is the unit of
+/// work both the in-process sweep loop and the nexit_workerd job loop
+/// execute — sharing it is what makes a distributed record byte-identical
+/// to the in-process one.
+PointOutcome run_point(const ScenarioPreset& preset,
+                       const ExperimentSpec& point, util::JsonReport& record,
+                       obs::Trace* trace);
+
+/// Emits a snapshot as JSON "obs" entries (counters, then histogram
+/// count/sum/non-empty buckets) into `record`'s active obs sink — the one
+/// serialization of an obs section, whether the snapshot was taken in this
+/// process or shipped from a worker.
+void record_obs_section(util::JsonReport& record, const obs::Snapshot& snap);
 
 /// main() body of a legacy figure binary: parse argv, run `name`. Under
 /// --help it first prints a note that the binary is a frozen wrapper and

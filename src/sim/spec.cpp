@@ -69,6 +69,7 @@ constexpr Choice<capacity::UnusedLinkRule> kUnusedRules[] = {
 constexpr Choice<RuntimeTransport> kTransports[] = {
     {RuntimeTransport::kMemory, "memory"},
     {RuntimeTransport::kSocket, "socket"},
+    {RuntimeTransport::kTcp, "tcp"},
 };
 constexpr Choice<RuntimeEventSpec::Kind> kEventKinds[] = {
     {RuntimeEventSpec::Kind::kStart, "start"},
@@ -484,6 +485,14 @@ void ExperimentSpec::merge_from_flags(const util::Flags& flags) {
 
   obs.trace = flags.get_string("obs.trace", obs.trace);
   obs.timing = flags.get_bool("obs.timing", obs.timing);
+
+  dist.workers = merge_count(flags, "dist.workers", dist.workers, 256);
+  dist.connect = flags.get_string("dist.connect", dist.connect);
+  dist.timeout_ms =
+      merge_count(flags, "dist.timeout-ms",
+                  static_cast<std::size_t>(dist.timeout_ms), 1u << 30);
+  dist.retries = merge_count(flags, "dist.retries", dist.retries, 100);
+  dist.log_dir = flags.get_string("dist.log-dir", dist.log_dir);
 }
 
 void ExperimentSpec::merge_from_file(const std::string& path) {
@@ -582,6 +591,11 @@ std::vector<std::pair<std::string, std::string>> ExperimentSpec::to_key_values()
   kv.emplace_back("runtime.events", events_text(runtime.events));
   kv.emplace_back("obs.trace", obs.trace);
   kv.emplace_back("obs.timing", obs.timing ? "true" : "false");
+  kv.emplace_back("dist.workers", std::to_string(dist.workers));
+  kv.emplace_back("dist.connect", dist.connect);
+  kv.emplace_back("dist.timeout-ms", std::to_string(dist.timeout_ms));
+  kv.emplace_back("dist.retries", std::to_string(dist.retries));
+  kv.emplace_back("dist.log-dir", dist.log_dir);
   for (const SweepAxis& axis : sweeps)
     kv.emplace_back("sweep." + axis.key, axis_values_text(axis));
   return kv;
@@ -671,6 +685,60 @@ bool ExperimentSpec::validate(std::string* error) const {
                       std::to_string(target) + " will not exist (only " +
                       std::to_string(runtime.sessions) + " declared)");
         }
+      }
+    }
+  }
+
+  // Distributed execution shards sweep points (or offloads a whole runtime
+  // timeline); a single distance/bandwidth point has nothing to shard, so
+  // an explicit dist.* key there is the same silent-misconfiguration mode
+  // as a locked sweep axis and gets the same exit-2 discipline. Explicit
+  // defaults stay legal (serialized specs spell out every key).
+  {
+    const ExperimentSpec dist_defaults;
+    if (experiment != ExperimentKind::kRuntime && sweeps.empty()) {
+      for (const char* key : {"dist.workers", "dist.connect",
+                              "dist.timeout-ms", "dist.retries",
+                              "dist.log-dir"}) {
+        if (overridden.count(key) > 0 &&
+            value_of(key) != dist_defaults.value_of(key)) {
+          return fail(std::string(key) +
+                      ": distributed execution needs declared sweep axes or "
+                      "experiment=runtime — a single-point run has nothing "
+                      "to shard");
+        }
+      }
+    }
+  }
+  if (dist.workers > 0 && !dist.connect.empty()) {
+    return fail("dist.connect: mutually exclusive with dist.workers — spawn "
+                "local workers or connect to remote daemons, not both");
+  }
+  if (dist.enabled()) {
+    if (!obs.trace.empty()) {
+      return fail("obs.trace: the trace is a per-process artifact; it cannot "
+                  "represent a run sharded across workers — drop dist.* or "
+                  "the trace");
+    }
+    if (obs.timing) {
+      return fail("obs.timing: the wall-clock phase profile is per-process; "
+                  "it cannot represent a run sharded across workers — drop "
+                  "dist.* or the profile");
+    }
+    if (dist.timeout_ms == 0) return fail("dist.timeout-ms: must be >= 1");
+  }
+  if (!dist.connect.empty()) {
+    // Endpoint grammar checked up front: a typo'd endpoint must die before
+    // any engine work, like every other malformed value.
+    for (const std::string& endpoint : split(dist.connect, ',')) {
+      const std::size_t colon = endpoint.rfind(':');
+      bool numeric = colon != std::string::npos && colon > 0 &&
+                     colon + 1 < endpoint.size();
+      for (std::size_t i = colon + 1; numeric && i < endpoint.size(); ++i)
+        numeric = endpoint[i] >= '0' && endpoint[i] <= '9';
+      if (!numeric) {
+        return fail("dist.connect: malformed endpoint \"" + endpoint +
+                    "\" — expected host:port");
       }
     }
   }
@@ -889,7 +957,8 @@ std::vector<SpecKeyInfo> build_key_registry() {
        "Initial sessions; 0 = one per universe pair, larger counts cycle "
        "the pairs with per-session traffic."},
       {"runtime.transport", "choice", kForRuntime, choices_text(kTransports),
-       "Channel kind: in-memory or fd-backed AF_UNIX socket pairs."},
+       "Channel kind: in-memory, fd-backed AF_UNIX socket pairs, or TCP "
+       "loopback pairs (src/dist)."},
       {"runtime.stagger", "count", kForRuntime, "virtual ticks",
        "Session i starts at tick i * stagger (start@ events override)."},
       {"runtime.min-links", "count", kForRuntime, "integer >= 1",
@@ -925,6 +994,23 @@ std::vector<SpecKeyInfo> build_key_registry() {
       {"obs.timing", "bool", kForAllKinds, "",
        "Wall-clock phase profile (digest-excluded `timing` JSON section); "
        "off = disarmed timers, provably zero overhead."},
+      {"dist.workers", "count", kForAllKinds, "integer in [0, 256]",
+       "Spawn-local worker processes to shard sweep points (or a runtime "
+       "timeline) across; 0 = in-process. The JSON record and sweep digest "
+       "are byte-identical for every value."},
+      {"dist.connect", "list", kForAllKinds,
+       "comma-separated host:port endpoints",
+       "Connect to running `nexit_workerd --listen` daemons instead of "
+       "spawning local workers (mutually exclusive with dist.workers)."},
+      {"dist.timeout-ms", "count", kForAllKinds, "milliseconds >= 1",
+       "Per-job deadline; a worker silent past it is declared dead and its "
+       "job reassigned (bounded by dist.retries)."},
+      {"dist.retries", "count", kForAllKinds, "integer in [0, 100]",
+       "Reassignments allowed per job after worker death/timeout before the "
+       "run fails."},
+      {"dist.log-dir", "string", kForAllKinds, "directory path",
+       "Directory for spawn-local worker logs (worker<i>.log); empty = "
+       "/dev/null."},
   };
 
   std::vector<SpecKeyInfo> registry;

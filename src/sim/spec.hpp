@@ -91,7 +91,7 @@ struct RuntimeEventSpec {
                          const RuntimeEventSpec&) = default;
 };
 
-enum class RuntimeTransport : std::uint8_t { kMemory, kSocket };
+enum class RuntimeTransport : std::uint8_t { kMemory, kSocket, kTcp };
 
 /// The `runtime.*` spec namespace: session population, transport, lifecycle
 /// limits, fault injection, and the declared timeline. Only meaningful for
@@ -120,6 +120,36 @@ struct RuntimeSpec {
   std::vector<RuntimeEventSpec> events;
 
   friend bool operator==(const RuntimeSpec&, const RuntimeSpec&) = default;
+};
+
+/// The `dist.*` spec namespace: distributed execution (src/dist). A sweep's
+/// points — or a whole runtime timeline — are sharded across worker
+/// processes, either spawned locally (`dist.workers=N`) or reached over TCP
+/// (`dist.connect=host:port,...`). Results fold back in odometer order, so
+/// the JSON record and sweep digest are byte-identical for every worker
+/// count, including zero (in-process). validate() rejects dist.* on runs
+/// with nothing to shard (no sweep axes, not experiment=runtime) and in
+/// combination with the per-process obs artifacts (trace/timing).
+struct DistSpec {
+  /// Spawn-local worker processes (nexit_workerd forked beside the driver);
+  /// 0 = run in-process.
+  std::size_t workers = 0;
+  /// Comma-separated host:port endpoints of running `nexit_workerd
+  /// --listen` daemons; mutually exclusive with workers.
+  std::string connect;
+  /// Per-job deadline; a worker silent past it is declared dead and its job
+  /// reassigned.
+  std::uint64_t timeout_ms = 120000;
+  /// Reassignments allowed per job (worker death/timeout) before the run
+  /// fails.
+  std::size_t retries = 2;
+  /// Directory for spawn-local worker logs (worker<i>.log); empty =
+  /// /dev/null.
+  std::string log_dir;
+
+  [[nodiscard]] bool enabled() const { return workers > 0 || !connect.empty(); }
+
+  friend bool operator==(const DistSpec&, const DistSpec&) = default;
 };
 
 /// The `obs.*` spec namespace: the observability layer (src/obs). Both keys
@@ -211,6 +241,9 @@ struct ExperimentSpec {
 
   // --- observability (src/obs) ------------------------------------------
   ObsSpec obs;
+
+  // --- distributed execution (src/dist) ---------------------------------
+  DistSpec dist;
 
   // --- declared sweep axes ----------------------------------------------
   /// Sorted by key (canonical order). run_scenario expands the cross

@@ -99,6 +99,11 @@ void JsonReport::metric(const std::string& name, const std::string& value) {
   insert(sink(), "metrics", name, quote(value));
 }
 
+void JsonReport::metric_serialized(const std::string& name,
+                                   std::string value) {
+  insert(sink(), "metrics", name, std::move(value));
+}
+
 void JsonReport::obs_entry(const std::string& name, std::int64_t value) {
   insert(obs_sink(), "obs", name, std::to_string(value));
 }

@@ -59,6 +59,21 @@ class JsonReport {
   /// active point's obs sub-section during a sweep).
   void obs_entry(const std::string& name, std::int64_t value);
 
+  /// Splices an entry whose value is ALREADY serialized JSON (produced by
+  /// this class's own formatters in another process). The distributed
+  /// coordinator replays worker-shipped metric entries through this —
+  /// verbatim value strings are what make a distributed record
+  /// byte-identical to the in-process one. Same duplicate-key abort as
+  /// every other entry path.
+  void metric_serialized(const std::string& name, std::string value);
+
+  /// The serialized (key, value) entries of the current metrics sink, in
+  /// record order — what a dist worker ships to the coordinator.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  metric_entries() const {
+    return in_point_ ? points_.back().metrics : metrics_;
+  }
+
   /// One wall-clock profile entry (top-level "timing" section; never
   /// point-scoped — timing is reported once per run).
   void timing_entry(const std::string& name, std::int64_t value);

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Emit the benchmark baseline (BENCH_<n>.json): one JSON file aggregating
-# the three perf-relevant benches at fixed parameters, so the trajectory of
+# the perf-relevant benches at fixed parameters, so the trajectory of
 # wall-clock and work counters is recorded PR over PR (ROADMAP asks for a
 # BENCH_*.json per growth step). Digests are included so a baseline also
 # witnesses the determinism contract at the recorded parameters; wall-clock
@@ -26,13 +26,18 @@ trap 'rm -rf "$tmp"' EXIT
   --json="$tmp/fig7.json" > /dev/null
 "$build/runtime_throughput" --sessions=128 --threads=2 \
   --json="$tmp/runtime_throughput.json" > /dev/null
+# dist_throughput spawns nexit_workerd from its own directory, so it must
+# run from the build tree.
+(cd "$build" && ./dist_throughput --points=4 --sessions=200 \
+  --json="$tmp/dist_throughput.json" > /dev/null)
 
 python3 - "$tmp" "$out" <<'EOF'
 import json, sys
 
 tmp, out = sys.argv[1], sys.argv[2]
 benches = {}
-for name in ("micro_incremental", "fig7", "runtime_throughput"):
+for name in ("micro_incremental", "fig7", "runtime_throughput",
+             "dist_throughput"):
     with open(f"{tmp}/{name}.json") as f:
         benches[name] = json.load(f)
 
@@ -55,4 +60,10 @@ print(f"  fig7: {f7['wall_ms']:.1f}ms digest={f7['digest']}"
       f" row_fraction={f7['eval_row_fraction']:.4f}")
 print(f"  runtime_throughput: {rt['sessions_per_second']:.1f} sessions/s,"
       f" {rt['messages_per_second']:.0f} msgs/s")
+dt = benches["dist_throughput"]["metrics"]
+print(f"  dist_throughput: {dt['points_per_second_lo']:.2f} ->"
+      f" {dt['points_per_second_hi']:.2f} points/s,"
+      f" {dt['sessions_per_second_lo']:.0f} ->"
+      f" {dt['sessions_per_second_hi']:.0f} sessions/s,"
+      f" sweep_digest={dt['sweep_digest']}")
 EOF
