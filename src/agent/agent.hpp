@@ -60,6 +60,22 @@ class NegotiationAgent {
   /// Valid once done(): the negotiated outcome as seen by this side.
   [[nodiscard]] const core::NegotiationOutcome& outcome() const;
 
+  // Mid-session introspection for the durability layer (runtime/snapshot):
+  // the replayable negotiation state a WAL record's integrity mark pins —
+  // tentative assignment, accumulated gains, pending delta, round.
+  [[nodiscard]] std::size_t round() const { return round_; }
+  [[nodiscard]] std::size_t remaining_count() const { return remaining_count_; }
+  [[nodiscard]] const routing::Assignment& tentative() const {
+    return tentative_;
+  }
+  [[nodiscard]] double true_gain() const { return true_gain_; }
+  [[nodiscard]] int disclosed_gain(int side) const {
+    return disclosed_gain_[side];
+  }
+  [[nodiscard]] const core::EvaluationDelta& pending_delta() const {
+    return pending_delta_;
+  }
+
  private:
   void send_message(const proto::Message& m);
   void fail(const std::string& why);

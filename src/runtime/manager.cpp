@@ -28,19 +28,31 @@ void SessionManager::at(Tick when, std::function<void(Tick)> fn) {
 
 void SessionManager::refresh(std::uint32_t id) {
   Session& s = *sessions_[id];
-  if (s.terminal()) {
+  if (s.status() != SessionStatus::kRunning) {
+    // Terminal (sweep_active() retires it from active_), killed, or back
+    // to pending: in every case the old channels are gone, stop polling
+    // them before they dangle.
     reactor_.unwatch(id);
-    return;  // sweep_active() retires it from active_
+    return;
   }
-  if (s.status() == SessionStatus::kRunning) {
-    reactor_.watch(id, s.watch_channels());
-    const Tick due = s.deadline();
-    if (due < armed_deadline_[id]) {
-      reactor_.timers().schedule(
-          TimerItem{due, TimerKind::kSessionDeadline, id, {}});
-      armed_deadline_[id] = due;
-    }
+  reactor_.watch(id, s.watch_channels());
+  const Tick due = s.deadline();
+  if (due < armed_deadline_[id]) {
+    reactor_.timers().schedule(
+        TimerItem{due, TimerKind::kSessionDeadline, id, {}});
+    armed_deadline_[id] = due;
   }
+}
+
+void SessionManager::notice(std::uint32_t id) {
+  refresh(id);
+  sweep_active();
+}
+
+void SessionManager::schedule_start(std::uint32_t id, Tick when) {
+  reactor_.timers().schedule(
+      TimerItem{std::max(when, clock_), TimerKind::kSessionStart, id, {}});
+  ++pending_wakes_;
 }
 
 void SessionManager::sweep_active() {
@@ -147,7 +159,7 @@ RuntimeStats SessionManager::run() {
   }
 
   stats_.final_tick = clock_;
-  stats_.done = stats_.failed = stats_.cancelled = 0;
+  stats_.done = stats_.failed = stats_.cancelled = stats_.killed = 0;
   stats_.total_steps = 0;
   stats_.messages = 0;
   for (const auto& s : sessions_) {
@@ -155,6 +167,7 @@ RuntimeStats SessionManager::run() {
       case SessionStatus::kDone: ++stats_.done; break;
       case SessionStatus::kFailed: ++stats_.failed; break;
       case SessionStatus::kCancelled: ++stats_.cancelled; break;
+      case SessionStatus::kKilled: ++stats_.killed; break;
       default: break;
     }
     stats_.total_steps += s->steps();

@@ -27,6 +27,9 @@ struct RuntimeStats {
   std::size_t done = 0;
   std::size_t failed = 0;
   std::size_t cancelled = 0;
+  /// Sessions still frozen by a kill event at the end of the run (a
+  /// healthy crash-recovery timeline resumes every kill, so this is 0).
+  std::size_t killed = 0;
   /// Scheduling rounds in which at least one session was pumped.
   std::size_t rounds = 0;
   /// Most sessions pumped in a single round (the achievable parallelism).
@@ -61,6 +64,16 @@ class SessionManager {
   /// Runs `fn(now)` when the virtual clock reaches `when` (single-threaded,
   /// deterministic order). Scenario timelines are built from these.
   void at(Tick when, std::function<void(Tick)> fn);
+
+  /// Re-syncs reactor watches and deadline timers after out-of-band session
+  /// mutation (kill, resume, cancel from a scenario callback). Killed and
+  /// terminal sessions are unwatched — their channels are gone.
+  void notice(std::uint32_t id);
+
+  /// Schedules a (second) start timer for an existing session — a resumed
+  /// session with no durable state negotiates fresh from here. Harmless if
+  /// another start timer is still pending: start() only fires once.
+  void schedule_start(std::uint32_t id, Tick when);
 
   /// Drives every session to a terminal state. Callable again after adding
   /// more sessions.

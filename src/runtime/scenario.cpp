@@ -94,10 +94,13 @@ Scenario::Scenario(ScenarioConfig config)
 
   initial_count_ =
       config_.session_count == 0 ? pairs.size() : config_.session_count;
+  bool any_kill = false;
   for (const ScenarioEvent& ev : config_.events) {
     if (ev.session >= initial_count_)
       throw std::invalid_argument(
           "Scenario: event targets a session that will not exist");
+    any_kill = any_kill || ev.kind == EventKind::kKill ||
+               ev.kind == EventKind::kResume;
     if (ev.kind == EventKind::kLinkFailure && ev.param != kBusiestIx) {
       // The session->pair mapping is fixed here, so fail the mis-declared
       // timeline now instead of aborting mid-run from the event callback.
@@ -113,6 +116,38 @@ Scenario::Scenario(ScenarioConfig config)
       throw std::invalid_argument(
           "Scenario: fault target names a session that will not exist");
   }
+  if (any_kill) {
+    if (config_.transport != Transport::kInMemory)
+      throw std::invalid_argument(
+          "Scenario: kill/resume events require the in-memory transport "
+          "(kernel socket buffers are not part of the durable state)");
+    // Kills and resumes must alternate per session, in timeline order
+    // (events at equal ticks fire in declaration order).
+    std::vector<std::size_t> order(config_.events.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return config_.events[a].at < config_.events[b].at;
+                     });
+    std::vector<char> down(initial_count_, 0);
+    for (std::size_t i : order) {
+      const ScenarioEvent& ev = config_.events[i];
+      if (ev.kind == EventKind::kKill) {
+        if (down[ev.session] != 0)
+          throw std::invalid_argument(
+              "Scenario: session killed twice without a resume between");
+        down[ev.session] = 1;
+      } else if (ev.kind == EventKind::kResume) {
+        if (down[ev.session] == 0)
+          throw std::invalid_argument(
+              "Scenario: resume without a preceding kill for the session");
+        down[ev.session] = 0;
+      }
+    }
+  }
+  if (any_kill || config_.durability.journal ||
+      !config_.durability.dir.empty())
+    store_ = std::make_unique<SnapshotStore>(config_.durability.dir);
 
   // Pre-forked per-session randomness, in session order (stream 0 traffic,
   // stream 1 fault seeds) — the PR 1 determinism scheme.
@@ -158,6 +193,14 @@ Scenario::Scenario(ScenarioConfig config)
           on_link_failure(now, ev.session, ev.param);
         });
         break;
+      case EventKind::kKill:
+        manager_.at(ev.at,
+                    [this, ev](Tick now) { on_kill(now, ev.session); });
+        break;
+      case EventKind::kResume:
+        manager_.at(ev.at,
+                    [this, ev](Tick now) { on_resume(now, ev.session); });
+        break;
     }
   }
 }
@@ -174,11 +217,50 @@ std::uint32_t Scenario::spawn(std::unique_ptr<SessionWorld> world,
                            with_faults ? config_.faults : FaultConfig{},
                            fault_seed),
       config_.limits);
+  if (store_ != nullptr) session->attach_journal(&store_->journal(id));
   worlds_.push_back(std::move(world));
   meta_.push_back(Meta{kind, parent});
+  scheduled_start_.push_back(start_at);
   const std::uint32_t got = manager_.add(std::move(session), start_at);
   if (got != id) throw std::logic_error("Scenario: session id drift");
   return id;
+}
+
+void Scenario::on_kill(Tick now, std::uint32_t target) {
+  Session& s = manager_.session(target);
+  if (s.terminal()) return;  // finished before the crash landed
+  s.kill(now);
+  manager_.notice(target);  // unwatch the torn-down channels immediately
+}
+
+void Scenario::on_resume(Tick now, std::uint32_t target) {
+  Session& s = manager_.session(target);
+  if (s.status() != SessionStatus::kKilled) return;
+  std::string why;
+  switch (s.resume(now, scheduled_start_[target], &why)) {
+    case RestoreOutcome::kResumed:
+      manager_.notice(target);  // re-watch channels, re-arm the deadline
+      break;
+    case RestoreOutcome::kFreshPending:
+      // Killed before anything durable existed: an ordinary (re)start,
+      // aligned with the originally scheduled tick. When that tick has
+      // already passed, start inline — a timer scheduled for the current
+      // tick from inside this callback would only fire after the next pump
+      // round, one tick later than the uninterrupted run.
+      if (now >= scheduled_start_[target]) {
+        s.start(now);
+        manager_.notice(target);
+      } else {
+        manager_.schedule_start(target, scheduled_start_[target]);
+      }
+      break;
+    case RestoreOutcome::kFellBack:
+      // Corrupt durable state: count it and renegotiate from scratch —
+      // the restore path never resumes wrong data.
+      obs::Registry::global().add("runtime.restore_failures", 1);
+      manager_.schedule_start(target, now);
+      break;
+  }
 }
 
 void Scenario::on_flow_churn(Tick now, std::uint32_t target,
@@ -275,6 +357,12 @@ ScenarioReport Scenario::run() {
       case SessionStatus::kFailed: reg.add("runtime.sessions_failed", 1); break;
       case SessionStatus::kCancelled:
         reg.add("runtime.sessions_cancelled", 1);
+        break;
+      case SessionStatus::kKilled:
+        // Never resumed: only possible in a timeline that kills without
+        // resuming, so bumping here cannot perturb the resumed-vs-
+        // uninterrupted obs equality contract.
+        reg.add("runtime.sessions_killed", 1);
         break;
       default: break;
     }

@@ -31,6 +31,18 @@ enum class EventKind : std::uint8_t {
   /// One peer crashes and comes back: the live attempt restarts with fresh
   /// channels (a planned restart does not consume a retry).
   kPeerRestart,
+  /// Crash `session` outright: its in-memory state is wiped and only the
+  /// durable snapshot+WAL bytes survive (runtime/snapshot.hpp). The session
+  /// freezes as kKilled until a matching kResume. Declaring any kill/resume
+  /// event enables journaling for the whole run and requires the in-memory
+  /// transport (kernel socket buffers are not part of the durable state).
+  kKill,
+  /// Restore `session` from its journal. With a verified checkpoint + WAL
+  /// tail the negotiation continues exactly where the kill interrupted it;
+  /// downtime is excised, so the outcome digest, per-session counters and
+  /// record bytes equal an uninterrupted run's (the durability contract,
+  /// pinned by tests/snapshot_test.cpp at every kill tick).
+  kResume,
 };
 
 inline constexpr std::uint64_t kBusiestIx = ~std::uint64_t{0};
@@ -86,6 +98,15 @@ struct ScenarioConfig {
   /// Session i starts at tick i * start_stagger (kStart events override).
   Tick start_stagger = 1;
   std::vector<ScenarioEvent> events;
+  /// Durable-session journaling (runtime/snapshot.hpp). Any kill/resume
+  /// event enables it implicitly; `journal` forces it on without kill
+  /// events (the snapshot_throughput bench measures pure overhead that
+  /// way); `dir` additionally mirrors the bytes to disk for CI artifacts.
+  struct Durability {
+    bool journal = false;
+    std::string dir;
+  };
+  Durability durability;
   /// Seeds the per-session traffic/fault RNG streams, pre-forked in session
   /// order exactly like the experiment engines (PR 1), so any --threads
   /// value replays bit-identically.
@@ -157,6 +178,13 @@ class Scenario {
   [[nodiscard]] std::size_t initial_session_count() const {
     return initial_count_;
   }
+  /// Non-null iff durability journaling is on for this run. The non-const
+  /// overload lets tests tamper with journals mid-run (corruption and
+  /// truncation drills).
+  [[nodiscard]] const SnapshotStore* snapshot_store() const {
+    return store_.get();
+  }
+  [[nodiscard]] SnapshotStore* snapshot_store() { return store_.get(); }
 
  private:
   struct Meta {
@@ -169,13 +197,19 @@ class Scenario {
                       std::uint64_t fault_seed, bool with_faults);
   void on_flow_churn(Tick now, std::uint32_t target, std::uint64_t reseed);
   void on_link_failure(Tick now, std::uint32_t target, std::uint64_t which);
+  void on_kill(Tick now, std::uint32_t target);
+  void on_resume(Tick now, std::uint32_t target);
 
   ScenarioConfig config_;
   std::vector<std::unique_ptr<PairWorld>> pair_worlds_;
   std::vector<std::unique_ptr<SessionWorld>> worlds_;  // index == session id
   std::vector<Meta> meta_;
+  std::vector<Tick> scheduled_start_;  // index == session id
   std::size_t initial_count_ = 0;
   bool ran_ = false;
+  /// Present iff durability is on (kill/resume events or config). Owns the
+  /// journals the sessions write to; tests introspect it after the run.
+  std::unique_ptr<SnapshotStore> store_;
   SessionManager manager_;  // declared last: sessions reference the worlds
 };
 

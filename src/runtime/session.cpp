@@ -40,6 +40,7 @@ std::string to_string(SessionStatus s) {
     case SessionStatus::kDone: return "done";
     case SessionStatus::kFailed: return "failed";
     case SessionStatus::kCancelled: return "cancelled";
+    case SessionStatus::kKilled: return "killed";
   }
   return "?";
 }
@@ -61,9 +62,10 @@ Session::Session(std::uint32_t id, const core::NegotiationProblem& problem,
 void Session::start(Tick now) {
   if (status_ != SessionStatus::kPending)
     throw std::logic_error("Session::start: already started");
+  const Tick snow = sess_time(now);
   status_ = SessionStatus::kRunning;
-  started_at_ = now;
-  begin_attempt(now);
+  started_at_ = snow;
+  begin_attempt(snow);
 }
 
 void Session::begin_attempt(Tick now) {
@@ -78,6 +80,9 @@ void Session::begin_attempt(Tick now) {
   attempt_began_ = now;
   last_progress_ = now;
   needs_kick_ = true;
+  // Attempt boundaries supersede the WAL: fresh channels and agents mean
+  // nothing before this point is needed to replay.
+  journal_checkpoint();
 }
 
 void Session::teardown_attempt() {
@@ -96,8 +101,11 @@ bool Session::in_handshake() const {
 
 Tick Session::deadline() const {
   if (status_ != SessionStatus::kRunning) return kNoDeadline;
-  if (in_handshake()) return attempt_began_ + limits_.handshake_deadline;
-  return last_progress_ + limits_.round_timeout;
+  // Internal bookkeeping is session-local time; the manager compares
+  // against its own clock, so translate back across the downtime offset.
+  if (in_handshake())
+    return attempt_began_ + limits_.handshake_deadline + offset_;
+  return last_progress_ + limits_.round_timeout + offset_;
 }
 
 std::vector<const agent::Channel*> Session::watch_channels() const {
@@ -108,6 +116,8 @@ std::vector<const agent::Channel*> Session::watch_channels() const {
 bool Session::pump(Tick now) {
   const obs::PhaseTimer timer(obs::Phase::kSessionPump);
   if (status_ != SessionStatus::kRunning) return false;
+  now = sess_time(now);
+  journal_event(proto::WalEventKind::kPump, now);
   needs_kick_ = false;
   bool any = false;
   std::size_t burst = 0;
@@ -156,6 +166,8 @@ void Session::check_deadline(Tick now) {
   if (status_ != SessionStatus::kRunning) return;
   const Tick due = deadline();
   if (now < due) return;  // stale timer; the manager re-arms at `due`
+  now = sess_time(now);
+  journal_event(proto::WalEventKind::kDeadline, now);
   ++timeouts_;
   fail_or_retry(now, in_handshake() ? "handshake deadline exceeded"
                                     : "round timeout (no progress)");
@@ -196,15 +208,44 @@ void Session::conclude(Tick now) {
 void Session::restart(Tick now) {
   if (status_ != SessionStatus::kRunning) return;
   teardown_attempt();
-  begin_attempt(now);
+  begin_attempt(sess_time(now));  // checkpoints: a restart is a boundary
 }
 
 void Session::cancel(Tick now, const std::string& why) {
   if (terminal()) return;
+  now = sess_time(now);
+  if (status_ == SessionStatus::kRunning)
+    journal_event(proto::WalEventKind::kCancel, now, why);
   teardown_attempt();
   status_ = SessionStatus::kCancelled;
   error_ = why;
   finished_at_ = now;
+}
+
+void Session::kill(Tick now) {
+  if (terminal() || status_ == SessionStatus::kKilled) return;
+  const Tick snow = sess_time(now);
+  // The kill record pins the session-local kill time (resume derives its
+  // downtime offset from it) and doubles as the final-state verification
+  // mark: replay must land exactly on the state this record observes.
+  if (status_ == SessionStatus::kRunning)
+    journal_event(proto::WalEventKind::kKill, snow);
+  teardown_attempt();
+  // Honest crash: resume may only use the durable bytes, so wipe every
+  // counter and timestamp the in-memory object still holds.
+  attempts_ = 0;
+  retries_used_ = 0;
+  steps_ = 0;
+  messages_ = 0;
+  timeouts_ = 0;
+  attempt_began_ = 0;
+  last_progress_ = 0;
+  started_at_ = 0;
+  finished_at_ = 0;
+  offset_ = 0;
+  error_.clear();
+  outcome_ = core::NegotiationOutcome{};
+  status_ = SessionStatus::kKilled;
 }
 
 const core::NegotiationOutcome& Session::outcome() const {

@@ -8,6 +8,7 @@
 #include "agent/agent.hpp"
 #include "agent/channel.hpp"
 #include "runtime/clock.hpp"
+#include "runtime/snapshot.hpp"
 
 namespace nexit::runtime {
 
@@ -17,6 +18,7 @@ enum class SessionStatus {
   kDone,       // both agents finished and agree on the assignment
   kFailed,     // retries exhausted (timeouts, stream errors, disagreement)
   kCancelled,  // stopped by a scenario event (link failure, flow churn)
+  kKilled,     // crashed (kill event): frozen until resume() or end of run
 };
 
 std::string to_string(SessionStatus s);
@@ -94,6 +96,29 @@ class Session {
   /// problem no longer reflects reality, stop working on it.
   void cancel(Tick now, const std::string& why);
 
+  /// Crash simulation: append the kill record to the journal, then wipe
+  /// every in-memory artifact — agents, channels, counters, timestamps —
+  /// so resume() can only use the durable bytes. Freezes as kKilled (not
+  /// terminal: the session may come back). No-op once terminal.
+  void kill(Tick now);
+
+  /// Rebuilds state from the attached journal: restore the checkpoint,
+  /// re-begin its attempt through the deterministic channel factory, and
+  /// replay the WAL tail at its recorded session-local ticks, verifying
+  /// each record's pre-state. Downtime is excised via the tick offset so a
+  /// resumed session's bookkeeping matches an uninterrupted run exactly.
+  /// `original_start` is the tick the session was first scheduled to start
+  /// (used when there is no durable state yet). A snapshot-schema version
+  /// mismatch exits loudly (code 2) — never silently renegotiates; any
+  /// other decode/verify failure resets for a fresh negotiation and
+  /// reports kFellBack. Only legal while kKilled.
+  RestoreOutcome resume(Tick now, Tick original_start, std::string* error);
+
+  /// Enables durable journaling (checkpoints at attempt boundaries, one
+  /// WAL record per scheduling event). The journal must outlive the
+  /// session. Null detaches.
+  void attach_journal(SessionJournal* journal) { journal_ = journal; }
+
   [[nodiscard]] std::uint32_t id() const { return id_; }
   [[nodiscard]] SessionStatus status() const { return status_; }
   [[nodiscard]] bool terminal() const {
@@ -133,6 +158,23 @@ class Session {
   void conclude(Tick now);
   [[nodiscard]] bool in_handshake() const;
 
+  /// Manager tick -> session-local tick. All internal bookkeeping runs in
+  /// session time; `offset_` (the accumulated kill->resume downtime) is
+  /// applied once at each public entry point, and added back by deadline().
+  [[nodiscard]] Tick sess_time(Tick now) const {
+    return now >= offset_ ? now - offset_ : 0;
+  }
+  // Durability hooks, implemented in runtime/snapshot.cpp. All no-ops while
+  // journal_ is null (including during replay, which detaches it).
+  void journal_checkpoint();
+  void journal_event(proto::WalEventKind kind, Tick sess_now,
+                     const std::string& note = {});
+  [[nodiscard]] proto::SnapshotNegotiationMark negotiation_mark() const;
+  /// Decode + replay + verify; fills *error and returns false on any
+  /// corruption or state mismatch (the caller falls back to fresh).
+  bool replay_journal(const SessionJournal& journal, Tick now,
+                      std::string* error);
+
   const std::uint32_t id_;
   const core::NegotiationProblem& problem_;
   core::PreferenceOracle& oracle_a_;
@@ -154,6 +196,10 @@ class Session {
   Tick last_progress_ = 0;
   Tick started_at_ = 0;
   Tick finished_at_ = 0;
+  /// Accumulated kill->resume downtime (manager ticks the session did not
+  /// experience). 0 until a resume happens.
+  Tick offset_ = 0;
+  SessionJournal* journal_ = nullptr;  // null = durability off
   std::string error_;
   core::NegotiationOutcome outcome_;
 };

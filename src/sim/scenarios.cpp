@@ -1531,10 +1531,12 @@ int run_runtime(ScenarioContext& ctx) {
   }
 
   const auto& st = report.stats;
-  std::printf("\n%zu sessions: %zu done, %zu failed, %zu cancelled; "
-              "%zu scheduling rounds (peak %zu ready), final tick %llu\n",
-              st.sessions, st.done, st.failed, st.cancelled, st.rounds,
-              st.peak_ready, static_cast<unsigned long long>(st.final_tick));
+  std::printf("\n%zu sessions: %zu done, %zu failed, %zu cancelled", st.sessions,
+              st.done, st.failed, st.cancelled);
+  if (st.killed > 0) std::printf(", %zu still killed", st.killed);
+  std::printf("; %zu scheduling rounds (peak %zu ready), final tick %llu\n",
+              st.rounds, st.peak_ready,
+              static_cast<unsigned long long>(st.final_tick));
 
   std::size_t churn_renegos = 0, failure_renegos = 0;
   for (const auto& s : report.sessions) {
@@ -1551,7 +1553,7 @@ int run_runtime(ScenarioContext& ctx) {
     if (!cfg.events.empty()) {
       const int timeline = ctx.trace->new_track("timeline");
       static const char* const kEventNames[] = {"start", "churn", "fail",
-                                                "restart"};
+                                                "restart", "kill", "resume"};
       for (const runtime::ScenarioEvent& ev : cfg.events) {
         obs::Trace::Args args;
         args.add("session", static_cast<std::int64_t>(ev.session));
@@ -1595,11 +1597,13 @@ int run_runtime(ScenarioContext& ctx) {
                     static_cast<std::int64_t>(churn_renegos));
   ctx.record.metric("failure_renegotiations",
                     static_cast<std::int64_t>(failure_renegos));
-  ctx.record.metric("rounds", static_cast<std::int64_t>(st.rounds));
-  ctx.record.metric("peak_ready", static_cast<std::int64_t>(st.peak_ready));
+  ctx.record.metric("sessions_killed", static_cast<std::int64_t>(st.killed));
+  // Scheduling geometry (rounds, peak_ready, final_tick) stays on stdout
+  // only: it depends on where kill/resume events land on the virtual clock,
+  // and the durability contract is that a crash-resumed run's RECORD is
+  // byte-identical to an uninterrupted one (CI cmp-s the two files).
   ctx.record.metric("steps", static_cast<std::int64_t>(st.total_steps));
   ctx.record.metric("messages", static_cast<std::int64_t>(st.messages));
-  ctx.record.metric("final_tick", static_cast<std::int64_t>(st.final_tick));
   return 0;
 }
 
@@ -2139,6 +2143,15 @@ int run_scenario(const ScenarioPreset& preset, const util::Flags& flags) {
     // still archives the real dist.* keys (it archives the invocation).
     ExperimentSpec archived = spec;
     archived.dist = DistSpec{};
+    // Kill/resume events and the journal mirror directory are crash
+    // *placement*, not experiment shape: the durability contract makes the
+    // resumed outcome byte-identical to an uninterrupted run's, so the
+    // archived spec drops them too — CI cmp-s the two records whole.
+    std::erase_if(archived.runtime.events, [](const RuntimeEventSpec& ev) {
+      return ev.kind == RuntimeEventSpec::Kind::kKill ||
+             ev.kind == RuntimeEventSpec::Kind::kResume;
+    });
+    archived.runtime.snapshot_dir.clear();
     for (const auto& [key, value] : archived.to_key_values())
       record.spec_entry(key, value);
   }
@@ -2298,6 +2311,7 @@ runtime::ScenarioConfig runtime_config_of(const ExperimentSpec& spec) {
   c.faults.corrupt = spec.runtime.corrupt;
   c.fault_targets = spec.runtime.fault_targets;
   c.start_stagger = spec.runtime.stagger;
+  c.durability.dir = spec.runtime.snapshot_dir;
   c.seed = spec.seed;
   for (const RuntimeEventSpec& ev : spec.runtime.events) {
     runtime::ScenarioEvent out;
@@ -2315,6 +2329,12 @@ runtime::ScenarioConfig runtime_config_of(const ExperimentSpec& spec) {
         break;
       case RuntimeEventSpec::Kind::kPeerRestart:
         out.kind = runtime::EventKind::kPeerRestart;
+        break;
+      case RuntimeEventSpec::Kind::kKill:
+        out.kind = runtime::EventKind::kKill;
+        break;
+      case RuntimeEventSpec::Kind::kResume:
+        out.kind = runtime::EventKind::kResume;
         break;
     }
     out.param = ev.kind == RuntimeEventSpec::Kind::kLinkFailure &&

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <iterator>
 #include <sstream>
 
@@ -76,6 +77,8 @@ constexpr Choice<RuntimeEventSpec::Kind> kEventKinds[] = {
     {RuntimeEventSpec::Kind::kFlowChurn, "churn"},
     {RuntimeEventSpec::Kind::kLinkFailure, "fail"},
     {RuntimeEventSpec::Kind::kPeerRestart, "restart"},
+    {RuntimeEventSpec::Kind::kKill, "kill"},
+    {RuntimeEventSpec::Kind::kResume, "resume"},
 };
 
 template <typename E, std::size_t N>
@@ -166,7 +169,8 @@ std::string fmt_double(double v) {
 constexpr const char* kEventsGrammar =
     "a comma-separated timeline: start@<tick>/<session>, "
     "churn@<tick>/<session>/<seed>, fail@<tick>/<session>[/<ix>|/busiest], "
-    "restart@<tick>/<session>";
+    "restart@<tick>/<session>, kill@<tick>/<session>, "
+    "resume@<tick>/<session>";
 
 bool parse_event(const std::string& token, RuntimeEventSpec* out) {
   const std::size_t at = token.find('@');
@@ -192,6 +196,8 @@ bool parse_event(const std::string& token, RuntimeEventSpec* out) {
   switch (out->kind) {
     case RuntimeEventSpec::Kind::kStart:
     case RuntimeEventSpec::Kind::kPeerRestart:
+    case RuntimeEventSpec::Kind::kKill:
+    case RuntimeEventSpec::Kind::kResume:
       return fields.size() == 2;
     case RuntimeEventSpec::Kind::kFlowChurn:
       return fields.size() == 3 && parse_u64(fields[2], &out->param);
@@ -211,6 +217,8 @@ std::string event_text(const RuntimeEventSpec& ev) {
   switch (ev.kind) {
     case RuntimeEventSpec::Kind::kStart:
     case RuntimeEventSpec::Kind::kPeerRestart:
+    case RuntimeEventSpec::Kind::kKill:
+    case RuntimeEventSpec::Kind::kResume:
       break;
     case RuntimeEventSpec::Kind::kFlowChurn:
       out += "/" + std::to_string(ev.param);
@@ -482,6 +490,8 @@ void ExperimentSpec::merge_from_flags(const util::Flags& flags) {
   runtime.fault_targets =
       merge_targets(flags, "runtime.fault-targets", runtime.fault_targets);
   runtime.events = merge_events(flags, "runtime.events", runtime.events);
+  runtime.snapshot_dir =
+      flags.get_string("runtime.snapshot-dir", runtime.snapshot_dir);
 
   obs.trace = flags.get_string("obs.trace", obs.trace);
   obs.timing = flags.get_bool("obs.timing", obs.timing);
@@ -589,6 +599,7 @@ std::vector<std::pair<std::string, std::string>> ExperimentSpec::to_key_values()
   kv.emplace_back("runtime.corrupt", fmt_double(runtime.corrupt));
   kv.emplace_back("runtime.fault-targets", targets_text(runtime.fault_targets));
   kv.emplace_back("runtime.events", events_text(runtime.events));
+  kv.emplace_back("runtime.snapshot-dir", runtime.snapshot_dir);
   kv.emplace_back("obs.trace", obs.trace);
   kv.emplace_back("obs.timing", obs.timing ? "true" : "false");
   kv.emplace_back("dist.workers", std::to_string(dist.workers));
@@ -684,6 +695,51 @@ bool ExperimentSpec::validate(std::string* error) const {
           return fail("runtime.fault-targets: session " +
                       std::to_string(target) + " will not exist (only " +
                       std::to_string(runtime.sessions) + " declared)");
+        }
+      }
+    }
+    // Crash-recovery timelines need durable state: only the in-memory
+    // transport keeps all in-flight bytes in the journal's reach (kernel
+    // socket buffers are not part of the durable snapshot). Kill/resume
+    // must also alternate per session — the runtime::Scenario re-checks,
+    // but a spec should fail fast with the friendly exit-2 message.
+    {
+      bool any_kill = false;
+      for (const RuntimeEventSpec& ev : runtime.events) {
+        any_kill |= ev.kind == RuntimeEventSpec::Kind::kKill ||
+                    ev.kind == RuntimeEventSpec::Kind::kResume;
+      }
+      if (any_kill && runtime.transport != RuntimeTransport::kMemory) {
+        return fail(
+            "runtime.events: kill/resume events require "
+            "runtime.transport=memory (kernel socket buffers are not part "
+            "of the durable state)");
+      }
+      if (any_kill) {
+        std::vector<std::size_t> order(runtime.events.size());
+        for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return runtime.events[a].at < runtime.events[b].at;
+                         });
+        std::map<std::uint32_t, bool> down;
+        for (std::size_t i : order) {
+          const RuntimeEventSpec& ev = runtime.events[i];
+          if (ev.kind == RuntimeEventSpec::Kind::kKill) {
+            if (down[ev.session]) {
+              return fail("runtime.events: event \"" + event_text(ev) +
+                          "\" kills session " + std::to_string(ev.session) +
+                          " twice without a resume in between");
+            }
+            down[ev.session] = true;
+          } else if (ev.kind == RuntimeEventSpec::Kind::kResume) {
+            if (!down[ev.session]) {
+              return fail("runtime.events: event \"" + event_text(ev) +
+                          "\" resumes session " + std::to_string(ev.session) +
+                          " that no earlier kill took down");
+            }
+            down[ev.session] = false;
+          }
         }
       }
     }
@@ -986,7 +1042,14 @@ std::vector<SpecKeyInfo> build_key_registry() {
        "Sessions whose transport gets the fault injection (empty = all)."},
       {"runtime.events", "events", kForRuntime, kEventsGrammar,
        "The declared timeline: staggered starts, flow churn, mid-session "
-       "link failure, peer restarts."},
+       "link failure, peer restarts, and crash-recovery (kill wipes a "
+       "session's in-memory state, resume restores it from the durable "
+       "snapshot+WAL; requires transport=memory, and the resumed run's "
+       "record is byte-identical to an uninterrupted one)."},
+      {"runtime.snapshot-dir", "string", kForRuntime, "output directory path",
+       "Mirror session journals (snapshot + WAL frames) here for "
+       "post-mortems and CI artifacts. Empty = in-memory journaling only; "
+       "journaling itself is implied by any kill/resume event."},
       {"obs.trace", "string", kForAllKinds, "output file path",
        "Write a Chrome trace_event JSON (Perfetto-loadable) negotiation "
        "timeline here; logical clocks only, byte-identical across "

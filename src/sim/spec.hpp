@@ -78,8 +78,22 @@ struct SweepAxis {
 ///   fail@<tick>/<session>/<ix>      interconnection failure mid-session;
 ///                                   <ix> is an index or `busiest`
 ///   restart@<tick>/<session>        one peer crashes and reconnects
+///   kill@<tick>/<session>           crash the session outright: in-memory
+///                                   state is wiped, only the durable
+///                                   snapshot+WAL survives (frozen until a
+///                                   matching resume)
+///   resume@<tick>/<session>         restore the session from its journal;
+///                                   the outcome digest and record bytes
+///                                   equal an uninterrupted run's
 struct RuntimeEventSpec {
-  enum class Kind : std::uint8_t { kStart, kFlowChurn, kLinkFailure, kPeerRestart };
+  enum class Kind : std::uint8_t {
+    kStart,
+    kFlowChurn,
+    kLinkFailure,
+    kPeerRestart,
+    kKill,
+    kResume,
+  };
   static constexpr std::uint64_t kBusiest = ~std::uint64_t{0};
 
   std::uint64_t at = 0;
@@ -118,6 +132,11 @@ struct RuntimeSpec {
   /// Sessions whose transport gets the fault injection (empty = all).
   std::vector<std::uint32_t> fault_targets;
   std::vector<RuntimeEventSpec> events;
+  /// Mirror session journals (snapshot + WAL frames) to this directory —
+  /// CI uploads them when a crash-recovery run diverges. Empty = in-memory
+  /// journaling only. Journaling itself is implied by any kill/resume
+  /// event; this key never enables or disables it.
+  std::string snapshot_dir;
 
   friend bool operator==(const RuntimeSpec&, const RuntimeSpec&) = default;
 };

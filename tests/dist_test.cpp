@@ -27,6 +27,7 @@
 #include "runtime/scenario.hpp"
 #include "sim/scenarios.hpp"
 #include "sim/spec.hpp"
+#include "test_digest.hpp"
 #include "util/digest.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -34,22 +35,9 @@
 namespace nexit {
 namespace {
 
-util::Flags kv_flags(const std::vector<std::string>& assignments) {
-  return util::Flags(assignments);
-}
-
-std::string temp_path(const std::string& suffix) {
-  return ::testing::TempDir() + "dist_test_" +
-         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-         suffix;
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
+using nexit::testing::kv_flags;
+using nexit::testing::read_file;
+using nexit::testing::temp_path;
 
 /// Directory of this test binary — where the build put nexit_workerd too.
 std::string build_dir() {

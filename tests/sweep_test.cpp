@@ -16,37 +16,16 @@
 #include "sim/scenarios.hpp"
 #include "sim/spec.hpp"
 #include "sim/spec_docs.hpp"
+#include "test_digest.hpp"
 #include "util/flags.hpp"
 
 namespace nexit::sim {
 namespace {
 
-util::Flags kv_flags(const std::vector<std::string>& assignments) {
-  return util::Flags(assignments);
-}
-
-std::string temp_path(const std::string& suffix) {
-  return ::testing::TempDir() + "sweep_test_" +
-         ::testing::UnitTest::GetInstance()->current_test_info()->name() +
-         suffix;
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  std::stringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-/// The hex outcome digest a run_scenario --json record carries. The
-/// top-level digest is recorded after any per-point sections, so the last
-/// occurrence is the run's overall digest.
-std::string digest_in(const std::string& json_path) {
-  const std::string text = read_file(json_path);
-  const std::string needle = "\"digest\": \"";
-  const auto pos = text.rfind(needle);
-  return pos == std::string::npos ? "" : text.substr(pos + needle.size(), 16);
-}
+using nexit::testing::digest_in;
+using nexit::testing::kv_flags;
+using nexit::testing::read_file;
+using nexit::testing::temp_path;
 
 // --- axis parsing --------------------------------------------------------
 

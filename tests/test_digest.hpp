@@ -1,0 +1,94 @@
+#pragma once
+
+// Shared spellings of "these two runs are the same run" for the test
+// suites. Scenario-outcome comparison used to be hand-rolled per file
+// (runtime_test, dist_test, sweep_test each had their own kv_flags /
+// temp-file / digest-extraction helpers and per-field loops); the
+// durability tests compare whole reports so often that the helpers live
+// here once, and a divergence names the session and field that moved.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario.hpp"
+#include "util/flags.hpp"
+
+namespace nexit::testing {
+
+/// Spec-style key=value assignments as a Flags object (the way every
+/// suite drives ExperimentSpec::merge_from_flags).
+inline util::Flags kv_flags(const std::vector<std::string>& assignments) {
+  return util::Flags(assignments);
+}
+
+/// A per-test temp path: gtest's temp dir + suite + test name + suffix,
+/// so concurrently running suites never collide on artifacts.
+inline std::string temp_path(const std::string& suffix) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return ::testing::TempDir() + info->test_suite_name() + "_" + info->name() +
+         suffix;
+}
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The hex outcome digest a run_scenario --json record carries. The
+/// top-level digest is recorded after any per-point sections, so the last
+/// occurrence is the run's overall digest.
+inline std::string digest_in(const std::string& json_path) {
+  const std::string text = read_file(json_path);
+  const std::string needle = "\"digest\": \"";
+  const auto pos = text.rfind(needle);
+  return pos == std::string::npos ? "" : text.substr(pos + needle.size(), 16);
+}
+
+/// Full-field equality of two scenario reports: every per-session counter,
+/// tick, and outcome must match — the "bit-identical" contract spelled
+/// field by field instead of through the digest, so a divergence points at
+/// the session and field that moved rather than at a hash.
+inline void expect_reports_equal(const runtime::ScenarioReport& a,
+                                 const runtime::ScenarioReport& b) {
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const runtime::ScenarioSessionResult& x = a.sessions[i];
+    const runtime::ScenarioSessionResult& y = b.sessions[i];
+    EXPECT_EQ(x.id, y.id) << "session " << i;
+    EXPECT_EQ(x.kind, y.kind) << "session " << i;
+    EXPECT_EQ(x.parent, y.parent) << "session " << i;
+    EXPECT_EQ(x.pair_label, y.pair_label) << "session " << i;
+    EXPECT_EQ(x.status, y.status) << "session " << i;
+    EXPECT_EQ(x.error, y.error) << "session " << i;
+    EXPECT_EQ(x.attempts, y.attempts) << "session " << i;
+    EXPECT_EQ(x.retries, y.retries) << "session " << i;
+    EXPECT_EQ(x.steps, y.steps) << "session " << i;
+    EXPECT_EQ(x.messages, y.messages) << "session " << i;
+    EXPECT_EQ(x.timeouts, y.timeouts) << "session " << i;
+    EXPECT_EQ(x.started_at, y.started_at) << "session " << i;
+    EXPECT_EQ(x.finished_at, y.finished_at) << "session " << i;
+    if (x.status == runtime::SessionStatus::kDone &&
+        y.status == runtime::SessionStatus::kDone) {
+      EXPECT_EQ(x.outcome.assignment.ix_of_flow, y.outcome.assignment.ix_of_flow)
+          << "session " << i;
+      EXPECT_EQ(x.outcome.rounds, y.outcome.rounds) << "session " << i;
+      EXPECT_EQ(x.outcome.stop_reason, y.outcome.stop_reason)
+          << "session " << i;
+      EXPECT_EQ(x.outcome.true_gain_a, y.outcome.true_gain_a)
+          << "session " << i;
+      EXPECT_EQ(x.outcome.disclosed_gain_a, y.outcome.disclosed_gain_a)
+          << "session " << i;
+      EXPECT_EQ(x.outcome.disclosed_gain_b, y.outcome.disclosed_gain_b)
+          << "session " << i;
+    }
+  }
+  EXPECT_EQ(runtime::outcome_digest(a), runtime::outcome_digest(b));
+}
+
+}  // namespace nexit::testing

@@ -26,6 +26,8 @@ trap 'rm -rf "$tmp"' EXIT
   --json="$tmp/fig7.json" > /dev/null
 "$build/runtime_throughput" --sessions=128 --threads=2 \
   --json="$tmp/runtime_throughput.json" > /dev/null
+"$build/snapshot_throughput" --sessions=96 --threads=2 \
+  --json="$tmp/snapshot_throughput.json" > /dev/null
 # dist_throughput spawns nexit_workerd from its own directory, so it must
 # run from the build tree.
 (cd "$build" && ./dist_throughput --points=4 --sessions=200 \
@@ -37,7 +39,7 @@ import json, sys
 tmp, out = sys.argv[1], sys.argv[2]
 benches = {}
 for name in ("micro_incremental", "fig7", "runtime_throughput",
-             "dist_throughput"):
+             "snapshot_throughput", "dist_throughput"):
     with open(f"{tmp}/{name}.json") as f:
         benches[name] = json.load(f)
 
@@ -60,6 +62,10 @@ print(f"  fig7: {f7['wall_ms']:.1f}ms digest={f7['digest']}"
       f" row_fraction={f7['eval_row_fraction']:.4f}")
 print(f"  runtime_throughput: {rt['sessions_per_second']:.1f} sessions/s,"
       f" {rt['messages_per_second']:.0f} msgs/s")
+sn = benches["snapshot_throughput"]["metrics"]
+print(f"  snapshot_throughput: journaling +{sn['journal_overhead_pct']:.1f}%,"
+      f" {sn['restores_per_second']:.0f} restores/s,"
+      f" digest_match={sn['digest_match']}")
 dt = benches["dist_throughput"]["metrics"]
 print(f"  dist_throughput: {dt['points_per_second_lo']:.2f} ->"
       f" {dt['points_per_second_hi']:.2f} points/s,"
